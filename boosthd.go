@@ -1,0 +1,139 @@
+// Package boosthd is a pure-Go implementation of BoostHD — boosted
+// hyperdimensional computing for reliable healthcare machine learning
+// (Jeong et al., DATE 2025) — together with every substrate its
+// evaluation depends on: the OnlineHD classifier, nonlinear
+// hyperdimensional encoders, classical baselines (AdaBoost, Random
+// Forest, gradient-boosted trees, linear SVM, MLP), synthetic wearable
+// physiological datasets, bit-flip fault injection, and the
+// random-matrix / span-utilization analysis of Section III.
+//
+// This root package re-exports the primary user-facing API; the full
+// machinery lives under internal/. Quickstart:
+//
+//	cfg := boosthd.DefaultConfig(10000, 10, numClasses)
+//	model, err := boosthd.Train(trainX, trainY, cfg)
+//	pred, err := model.PredictBatch(testX)
+//
+// See examples/ for end-to-end pipelines and cmd/benchtables for the
+// harness that regenerates every table and figure of the paper.
+package boosthd
+
+import (
+	core "boosthd/internal/boosthd"
+	"boosthd/internal/dataset"
+	"boosthd/internal/encoding"
+	"boosthd/internal/faults"
+	"boosthd/internal/onlinehd"
+	"boosthd/internal/signal"
+	"boosthd/internal/synth"
+)
+
+// Model is a trained BoostHD ensemble (Algorithm 1): OnlineHD weak
+// learners over a partitioned hyperdimensional space combined by
+// alpha-weighted voting.
+type Model = core.Model
+
+// Config configures a BoostHD ensemble.
+type Config = core.Config
+
+// Aggregation selects the ensemble inference rule.
+type Aggregation = core.Aggregation
+
+// Aggregation rules: Vote is the hard-vote reading of Algorithm 1, Score
+// the soft (similarity-sum) reading.
+const (
+	Vote  = core.Vote
+	Score = core.Score
+)
+
+// DefaultConfig returns the paper's ensemble hyperparameters for a total
+// dimension, learner count, and class count.
+func DefaultConfig(totalDim, numLearners, classes int) Config {
+	return core.DefaultConfig(totalDim, numLearners, classes)
+}
+
+// Train fits a BoostHD ensemble on feature rows X with labels y.
+func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
+	return core.Train(X, y, cfg)
+}
+
+// OnlineHD is the single-space baseline classifier BoostHD partitions
+// (Hernandez-Cano et al., DATE 2021).
+type OnlineHD = onlinehd.Model
+
+// OnlineHDConfig configures an OnlineHD model.
+type OnlineHDConfig = onlinehd.Config
+
+// OnlineHDDefaultConfig returns the paper's OnlineHD hyperparameters.
+func OnlineHDDefaultConfig(dim, classes int) OnlineHDConfig {
+	return onlinehd.DefaultConfig(dim, classes)
+}
+
+// TrainOnlineHD fits an OnlineHD model; weights (nil = uniform) support
+// boosting-style sample re-weighting.
+func TrainOnlineHD(X [][]float64, y []int, weights []float64, cfg OnlineHDConfig) (*OnlineHD, error) {
+	return onlinehd.Train(X, y, weights, cfg)
+}
+
+// Dataset is a labeled feature matrix with optional per-sample subjects.
+type Dataset = dataset.Dataset
+
+// SynthConfig configures a synthetic wearable-sensor dataset.
+type SynthConfig = synth.Config
+
+// Subject is a simulated study participant with the demographic
+// attributes used by person-specific evaluation.
+type Subject = synth.Subject
+
+// WESAD returns the synthetic stand-in for the WESAD stress/affect
+// dataset together with its subject roster.
+func WESAD() (*Dataset, []Subject, error) { return synth.Build(synth.WESADConfig()) }
+
+// NurseStress returns the synthetic stand-in for the Nurse Stress
+// dataset.
+func NurseStress() (*Dataset, []Subject, error) { return synth.Build(synth.NurseStressConfig()) }
+
+// StressPredict returns the synthetic stand-in for the Stress-Predict
+// dataset.
+func StressPredict() (*Dataset, []Subject, error) { return synth.Build(synth.StressPredictConfig()) }
+
+// BuildSynth synthesizes a dataset from a custom configuration.
+func BuildSynth(cfg SynthConfig) (*Dataset, []Subject, error) { return synth.Build(cfg) }
+
+// SubjectSplit partitions a dataset by subject units, the evaluation
+// protocol of the paper.
+func SubjectSplit(d *Dataset, subjects []Subject, testFraction float64, seed int64) (train, test *Dataset, testIDs []int, err error) {
+	return synth.SubjectSplit(d, subjects, testFraction, seed)
+}
+
+// EncoderKind selects the feature-to-hyperspace activation.
+type EncoderKind = encoding.Kind
+
+// Encoder kinds.
+const (
+	Nonlinear = encoding.Nonlinear
+	RFF       = encoding.RFF
+	Linear    = encoding.Linear
+)
+
+// Normalizer rescales feature columns with statistics fitted on training
+// data (the paper fits normalization before model training).
+type Normalizer = signal.Normalizer
+
+// Normalization schemes.
+const (
+	ZScore = signal.ZScore
+	MinMax = signal.MinMax
+)
+
+// FitNormalizer computes per-column statistics over training rows.
+func FitNormalizer(rows [][]float64, kind signal.NormKind) (*Normalizer, error) {
+	return signal.FitNormalizer(rows, kind)
+}
+
+// FaultInjector flips stored model bits with a per-bit probability — the
+// paper's Figure 8 reliability protocol.
+type FaultInjector = faults.Injector
+
+// NewFaultInjector builds a bit-flip injector with probability pb.
+var NewFaultInjector = faults.NewInjector

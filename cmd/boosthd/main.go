@@ -1,0 +1,205 @@
+// Command boosthd trains and evaluates models on the synthetic healthcare
+// datasets from the command line.
+//
+// Usage:
+//
+//	boosthd -dataset wesad|nurse|stresspredict
+//	        -model boosthd|onlinehd|adaboost|rf|xgboost|svm|dnn
+//	        [-dim 10000] [-nl 10] [-epochs 20] [-runs 3] [-seed 7]
+//	        [-subjects N] [-samples N]
+//
+// Each run draws a fresh subject-wise split, normalizes features with
+// training statistics, trains the requested model, and reports accuracy
+// with training and per-sample inference times.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/dataset"
+	"boosthd/internal/ensemble"
+	"boosthd/internal/forest"
+	"boosthd/internal/gbdt"
+	"boosthd/internal/nn"
+	"boosthd/internal/onlinehd"
+	"boosthd/internal/signal"
+	"boosthd/internal/stats"
+	"boosthd/internal/svm"
+	"boosthd/internal/synth"
+)
+
+func main() {
+	datasetName := flag.String("dataset", "wesad", "wesad, nurse, or stresspredict")
+	modelName := flag.String("model", "boosthd", "boosthd, onlinehd, adaboost, rf, xgboost, svm, dnn")
+	dim := flag.Int("dim", 10000, "HDC total dimension Dtotal")
+	nl := flag.Int("nl", 10, "BoostHD weak learners NL")
+	epochs := flag.Int("epochs", 20, "HDC training epochs")
+	runs := flag.Int("runs", 3, "number of subject-split runs")
+	seed := flag.Int64("seed", 7, "base random seed")
+	subjects := flag.Int("subjects", 0, "override subject count (0 = dataset default)")
+	samples := flag.Int("samples", 0, "override raw samples per state (0 = dataset default)")
+	flag.Parse()
+
+	cfg, err := datasetConfig(*datasetName)
+	if err != nil {
+		fail(err)
+	}
+	if *subjects > 0 {
+		cfg.NumSubjects = *subjects
+	}
+	if *samples > 0 {
+		cfg.SamplesPerState = *samples
+	}
+	data, roster, err := synth.Build(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("dataset %s: %d windows x %d features, %d subjects, %d classes\n",
+		cfg.Name, data.Len(), data.NumFeatures(), len(roster), data.NumClasses)
+
+	var accs, trainTimes, inferTimes []float64
+	for r := 0; r < *runs; r++ {
+		splitSeed := *seed + int64(r)
+		train, test, _, err := synth.SubjectSplit(data, roster, 0.3, splitSeed)
+		if err != nil {
+			fail(err)
+		}
+		for i, row := range train.X {
+			train.X[i] = append([]float64(nil), row...)
+		}
+		for i, row := range test.X {
+			test.X[i] = append([]float64(nil), row...)
+		}
+		norm, err := signal.FitNormalizer(train.X, signal.ZScore)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := norm.Apply(train.X); err != nil {
+			fail(err)
+		}
+		if _, err := norm.Apply(test.X); err != nil {
+			fail(err)
+		}
+
+		start := time.Now()
+		predict, err := trainModel(*modelName, train, *dim, *nl, *epochs, splitSeed)
+		if err != nil {
+			fail(err)
+		}
+		trainDur := time.Since(start)
+
+		start = time.Now()
+		pred, err := predict(test.X)
+		if err != nil {
+			fail(err)
+		}
+		inferPer := time.Since(start).Seconds() / float64(test.Len())
+
+		acc, err := stats.Accuracy(pred, test.Y)
+		if err != nil {
+			fail(err)
+		}
+		accs = append(accs, acc*100)
+		trainTimes = append(trainTimes, trainDur.Seconds())
+		inferTimes = append(inferTimes, inferPer*1e6)
+		fmt.Printf("run %d: accuracy %.2f%%  train %.2fs  inference %.1f us/sample\n",
+			r, acc*100, trainDur.Seconds(), inferPer*1e6)
+	}
+	fmt.Printf("\n%s on %s over %d runs: accuracy %s  train %.2fs  inference %.1f us/sample\n",
+		*modelName, cfg.Name, *runs, stats.Summarize(accs).String(),
+		stats.Mean(trainTimes), stats.Mean(inferTimes))
+}
+
+func datasetConfig(name string) (synth.Config, error) {
+	switch strings.ToLower(name) {
+	case "wesad":
+		return synth.WESADConfig(), nil
+	case "nurse", "nursestress":
+		return synth.NurseStressConfig(), nil
+	case "stresspredict", "stress-predict":
+		return synth.StressPredictConfig(), nil
+	default:
+		return synth.Config{}, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+type predictor func([][]float64) ([]int, error)
+
+func trainModel(name string, train *dataset.Dataset, dim, nl, epochs int, seed int64) (predictor, error) {
+	classes := train.NumClasses
+	switch strings.ToLower(name) {
+	case "boosthd":
+		cfg := boosthd.DefaultConfig(dim, nl, classes)
+		cfg.Epochs = epochs
+		cfg.Seed = seed
+		m, err := boosthd.Train(train.X, train.Y, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.PredictBatch, nil
+	case "onlinehd":
+		cfg := onlinehd.DefaultConfig(dim, classes)
+		cfg.Epochs = epochs
+		cfg.Seed = seed
+		m, err := onlinehd.Train(train.X, train.Y, nil, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.PredictBatch, nil
+	case "adaboost":
+		cfg := ensemble.DefaultAdaBoostConfig()
+		cfg.Seed = seed
+		m, err := ensemble.FitAdaBoost(train.X, train.Y, classes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil
+	case "rf":
+		cfg := forest.DefaultConfig()
+		cfg.Seed = seed
+		m, err := forest.Fit(train.X, train.Y, classes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil
+	case "xgboost":
+		m, err := gbdt.Fit(train.X, train.Y, classes, gbdt.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil
+	case "svm":
+		cfg := svm.DefaultConfig()
+		cfg.Seed = seed
+		m, err := svm.Fit(train.X, train.Y, classes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil
+	case "dnn":
+		cfg := nn.DefaultConfig(classes)
+		cfg.Hidden = []int{256, 128, 64} // tractable CPU width; -model dnn is not the paper-width timing path
+		cfg.Epochs = 20
+		cfg.Seed = seed
+		m, err := nn.New(train.NumFeatures(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Fit(train.X, train.Y); err != nil {
+			return nil, err
+		}
+		return m.PredictBatch, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "boosthd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Fault tolerance under memory bit flips (the paper's Figure 8 protocol):
+// train BoostHD and OnlineHD on a wearable-stress workload, then flip
+// stored class-hypervector bits with increasing per-bit probability and
+// watch the vote redundancy keep BoostHD's accuracy flat while the
+// monolithic model degrades.
+//
+//	go run ./examples/fault_tolerance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"boosthd"
+)
+
+func main() {
+	cfg := boosthd.SynthConfig{
+		Name:            "faults-demo",
+		NumSubjects:     8,
+		SamplesPerState: 1024,
+		SmoothWindow:    30,
+		WindowSize:      128,
+		WindowStep:      64,
+		Separability:    0.85,
+		SensorNoise:     0.3,
+		LabelNoise:      0.02,
+		Seed:            11,
+	}
+	data, subjects, err := boosthd.BuildSynth(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, _, err := boosthd.SubjectSplit(data, subjects, 0.3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm, err := boosthd.FitNormalizer(train.X, boosthd.ZScore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := norm.Apply(train.X); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := norm.Apply(test.X); err != nil {
+		log.Fatal(err)
+	}
+
+	boost, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(8000, 10, data.NumClasses))
+	if err != nil {
+		log.Fatal(err)
+	}
+	online, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(8000, 1, data.NumClasses))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	const trials = 15
+	fmt.Println("p_b        BoostHD     OnlineHD   (mean accuracy % over trials)")
+	for _, pb := range []float64{0, 1e-6, 1e-5, 1e-4, 1e-3} {
+		var boostSum, onlineSum float64
+		for t := 0; t < trials; t++ {
+			inj, err := boosthd.NewFaultInjector(pb, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bc := boost.Clone()
+			for _, learner := range bc.Learners {
+				for _, cv := range learner.Class {
+					inj.InjectFloat32(cv)
+				}
+			}
+			bAcc, err := bc.Evaluate(test.X, test.Y)
+			if err != nil {
+				log.Fatal(err)
+			}
+			oc := online.Clone()
+			for _, learner := range oc.Learners {
+				for _, cv := range learner.Class {
+					inj.InjectFloat32(cv)
+				}
+			}
+			oAcc, err := oc.Evaluate(test.X, test.Y)
+			if err != nil {
+				log.Fatal(err)
+			}
+			boostSum += bAcc
+			onlineSum += oAcc
+		}
+		fmt.Printf("%-9.0e  %8.2f    %8.2f\n", pb,
+			boostSum/trials*100, onlineSum/trials*100)
+	}
+}

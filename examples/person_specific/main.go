@@ -1,0 +1,73 @@
+// Person-specific reliability (the paper's Table III protocol): hold out
+// demographic cohorts — left-handed, female, young, older, short, tall —
+// as unseen test subjects and measure how equitably each model performs.
+// Healthcare deployments must not work only for the average wearer.
+//
+//	go run ./examples/person_specific
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"boosthd"
+	"boosthd/internal/dataset"
+	"boosthd/internal/synth"
+)
+
+func main() {
+	data, subjects, err := boosthd.WESAD()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("WESAD-style cohort: %d subjects, %d windows\n\n", len(subjects), data.Len())
+
+	fmt.Printf("%-14s %8s %8s  %s\n", "cohort", "BoostHD", "OnlineHD", "held-out subjects")
+	for _, group := range synth.TableIIIGroups() {
+		ids := synth.SelectSubjects(subjects, group)
+		if len(ids) == 0 || len(ids) == len(subjects) {
+			fmt.Printf("%-14s  (cohort empty or covers everyone — skipped)\n", group.Name)
+			continue
+		}
+		train, test, err := dataset.SplitBySubjects(data, ids)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Private feature copies: normalization must not leak between
+		// cohort evaluations that share the underlying dataset rows.
+		for i, r := range train.X {
+			train.X[i] = append([]float64(nil), r...)
+		}
+		for i, r := range test.X {
+			test.X[i] = append([]float64(nil), r...)
+		}
+		norm, err := boosthd.FitNormalizer(train.X, boosthd.ZScore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := norm.Apply(train.X); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := norm.Apply(test.X); err != nil {
+			log.Fatal(err)
+		}
+
+		bm, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(8000, 10, data.NumClasses))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bAcc, err := bm.Evaluate(test.X, test.Y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		om, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(8000, 1, data.NumClasses))
+		if err != nil {
+			log.Fatal(err)
+		}
+		oAcc, err := om.Evaluate(test.X, test.Y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %7.2f%% %7.2f%%  %v\n", group.Name, bAcc*100, oAcc*100, ids)
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: train a BoostHD ensemble on a small synthetic problem and
+// compare it with plain OnlineHD at the same total dimension.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"boosthd"
+)
+
+func main() {
+	// A noisy 3-class problem: class c lives around the c-th axis.
+	rng := rand.New(rand.NewSource(42))
+	const n, features, classes = 600, 12, 3
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % classes
+		y[i] = c
+		X[i] = make([]float64, features)
+		for j := range X[i] {
+			X[i][j] = 0.6 * rng.NormFloat64()
+		}
+		X[i][c] += 1.6
+		X[i][classes+c] += 0.8
+	}
+	trainX, trainY := X[:450], y[:450]
+	testX, testY := X[450:], y[450:]
+
+	// BoostHD: 10 weak learners sharing a 4000-dimensional hyperspace.
+	cfg := boosthd.DefaultConfig(4000, 10, classes)
+	model, err := boosthd.Train(trainX, trainY, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	boostAcc, err := model.Evaluate(testX, testY)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// OnlineHD: one monolithic learner over the same total budget.
+	ocfg := boosthd.OnlineHDDefaultConfig(4000, classes)
+	online, err := boosthd.TrainOnlineHD(trainX, trainY, nil, ocfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	onlineAcc, err := online.Evaluate(testX, testY)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("BoostHD  (D=4000, NL=10): %.2f%%\n", boostAcc*100)
+	fmt.Printf("OnlineHD (D=4000, NL=1):  %.2f%%\n", onlineAcc*100)
+	fmt.Println()
+	fmt.Println("Per-learner importance weights (alpha):")
+	for i, a := range model.Alphas {
+		seg := model.Segments()[i]
+		fmt.Printf("  learner %2d  dims [%5d,%5d)  alpha=%.3f\n", i, seg[0], seg[1], a)
+	}
+}

@@ -1,0 +1,352 @@
+// Package boosthd implements the paper's primary contribution: BoostHD,
+// a boosted ensemble of OnlineHD weak learners over a partitioned
+// hyperdimensional space (Algorithm 1, Figure 1).
+//
+// A single nonlinear encoder maps features into a TotalDim-dimensional
+// space; learner i owns the contiguous dimension segment
+// [i*TotalDim/NL, (i+1)*TotalDim/NL) and sees only that slice of every
+// encoding. Learners are trained sequentially under SAMME boosting — each
+// round re-weights the samples its predecessors misclassified — and
+// inference combines the learners' votes (or cosine scores) weighted by
+// their importance alpha_i. Training is inherently sequential; inference
+// parallelizes across samples.
+package boosthd
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"boosthd/internal/encoding"
+	"boosthd/internal/ensemble"
+	"boosthd/internal/hdc"
+	"boosthd/internal/onlinehd"
+)
+
+// Aggregation selects how weak-learner outputs combine at inference.
+type Aggregation int
+
+const (
+	// Vote is Algorithm 1's rule: argmax over alpha-weighted hard votes.
+	Vote Aggregation = iota
+	// Score aggregates alpha-weighted per-class cosine similarities; it
+	// preserves learner confidence and is used by the score-ablation bench.
+	Score
+)
+
+// String names the aggregation rule.
+func (a Aggregation) String() string {
+	switch a {
+	case Vote:
+		return "vote"
+	case Score:
+		return "score"
+	default:
+		return fmt.Sprintf("Aggregation(%d)", int(a))
+	}
+}
+
+// Config describes a BoostHD ensemble. The paper's reference setup is
+// NL=10 learners sharing Dtotal dimensions, each weak learner an OnlineHD
+// model with lr=0.035 and bootstrap sampling.
+type Config struct {
+	TotalDim    int     // Dtotal: dimensions shared by all learners
+	NumLearners int     // NL: number of weak learners / partitions
+	Classes     int     // number of labels
+	LR          float64 // weak-learner OnlineHD learning rate
+	Epochs      int     // weak-learner training passes
+	Bootstrap   bool    // weighted bootstrap inside weak learners
+	Encoder     encoding.Kind
+	Aggregation Aggregation
+	Gamma       float64 // kernel bandwidth; <= 0 selects the median heuristic
+	GammaSpread float64 // per-learner bandwidth spread factor (see Train); 0 = single scale
+	Seed        int64
+}
+
+// DefaultConfig returns the paper's Section IV ensemble hyperparameters:
+// NL weak learners over a shared Dtotal budget, lr 0.035, bootstrap
+// sampling, the nonlinear encoder. Aggregation defaults to Score — the
+// literal reading of Algorithm 1's inference rule argmax(sum ys*alpha) —
+// and GammaSpread to 4, realizing Figure 1's per-learner encoding boxes
+// as a multi-scale bandwidth ensemble (the strongest configuration in our
+// calibration sweeps; set GammaSpread = 0 for a single shared encoder).
+func DefaultConfig(totalDim, numLearners, classes int) Config {
+	return Config{
+		TotalDim:    totalDim,
+		NumLearners: numLearners,
+		Classes:     classes,
+		LR:          0.035,
+		Epochs:      20,
+		Bootstrap:   true,
+		Encoder:     encoding.Nonlinear,
+		Aggregation: Score,
+		GammaSpread: 4,
+		Seed:        1,
+	}
+}
+
+// segment is a half-open dimension range owned by one weak learner.
+type segment struct{ lo, hi int }
+
+// Model is a trained BoostHD ensemble.
+type Model struct {
+	Cfg      Config
+	Enc      hdEncoder
+	Learners []*onlinehd.HVClassifier
+	Alphas   []float64
+	segs     []segment
+	gamma    float64 // resolved base bandwidth (serialization rebuilds encoders from it)
+	inputDim int     // feature width the encoders were built for
+}
+
+// partition splits totalDim into n contiguous segments whose sizes differ
+// by at most one (the first totalDim%n segments get the extra dimension).
+func partition(totalDim, n int) []segment {
+	segs := make([]segment, n)
+	base := totalDim / n
+	rem := totalDim % n
+	lo := 0
+	for i := range segs {
+		size := base
+		if i < rem {
+			size++
+		}
+		segs[i] = segment{lo: lo, hi: lo + size}
+		lo += size
+	}
+	return segs
+}
+
+// Train fits a BoostHD ensemble on raw features X with labels y.
+func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("boosthd: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("boosthd: %d rows vs %d labels", len(X), len(y))
+	}
+	if cfg.NumLearners < 1 {
+		return nil, fmt.Errorf("boosthd: need >= 1 learner, got %d", cfg.NumLearners)
+	}
+	if cfg.TotalDim < cfg.NumLearners {
+		return nil, fmt.Errorf("boosthd: TotalDim %d < NumLearners %d: every partition needs at least one dimension",
+			cfg.TotalDim, cfg.NumLearners)
+	}
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("boosthd: need >= 2 classes, got %d", cfg.Classes)
+	}
+	gamma := cfg.Gamma
+	if gamma <= 0 {
+		gamma = encoding.GammaHeuristic(X, 0.5, rand.New(rand.NewSource(cfg.Seed+55)))
+	}
+	enc, err := newSpreadEncoder(len(X[0]), cfg, gamma)
+	if err != nil {
+		return nil, fmt.Errorf("boosthd: %w", err)
+	}
+	H, err := enc.EncodeBatch(X)
+	if err != nil {
+		return nil, fmt.Errorf("boosthd: %w", err)
+	}
+
+	m := &Model{
+		Cfg:      cfg,
+		Enc:      enc,
+		Learners: make([]*onlinehd.HVClassifier, cfg.NumLearners),
+		segs:     partition(cfg.TotalDim, cfg.NumLearners),
+		gamma:    gamma,
+		inputDim: len(X[0]),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 977))
+
+	// Pre-slice every encoding per learner lazily inside the round.
+	results, err := ensemble.Boost(y, cfg.Classes, cfg.NumLearners,
+		func(round int, w []float64) ([]int, error) {
+			seg := m.segs[round]
+			dim := seg.hi - seg.lo
+			hv, err := onlinehd.NewHVClassifier(dim, cfg.Classes, cfg.LR)
+			if err != nil {
+				return nil, err
+			}
+			sub := make([]hdc.Vector, len(H))
+			for i, h := range H {
+				sub[i] = h.Slice(seg.lo, seg.hi)
+			}
+			opt := onlinehd.FitOptions{Epochs: cfg.Epochs, Weights: w, Bootstrap: cfg.Bootstrap}
+			if cfg.Bootstrap {
+				opt.Rng = rng
+			}
+			if err := hv.Fit(sub, y, opt); err != nil {
+				return nil, err
+			}
+			m.Learners[round] = hv
+			return hv.PredictBatch(sub), nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("boosthd: %w", err)
+	}
+	m.Alphas = make([]float64, len(results))
+	for i, r := range results {
+		m.Alphas[i] = r.Alpha
+	}
+	return m, nil
+}
+
+// PredictEncoded classifies a full-width encoded hypervector by combining
+// the weak learners over their dimension segments.
+func (m *Model) PredictEncoded(h hdc.Vector) int {
+	switch m.Cfg.Aggregation {
+	case Score:
+		scores := make([][]float64, len(m.Learners))
+		for i, l := range m.Learners {
+			scores[i] = l.Scores(h.Slice(m.segs[i].lo, m.segs[i].hi))
+		}
+		return ensemble.ScoreAggregate(scores, m.Alphas, m.Cfg.Classes)
+	default:
+		votes := make([]int, len(m.Learners))
+		for i, l := range m.Learners {
+			votes[i] = l.Predict(h.Slice(m.segs[i].lo, m.segs[i].hi))
+		}
+		return ensemble.VoteAggregate(votes, m.Alphas, m.Cfg.Classes)
+	}
+}
+
+// Predict classifies one raw feature vector.
+func (m *Model) Predict(x []float64) (int, error) {
+	h, err := m.Enc.Encode(x)
+	if err != nil {
+		return 0, err
+	}
+	return m.PredictEncoded(h), nil
+}
+
+// PredictBatch classifies rows in parallel across GOMAXPROCS workers —
+// the inference-phase parallelism the paper highlights.
+func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
+	out := make([]int, len(X))
+	if len(X) == 0 {
+		return out, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(X) {
+		workers = len(X)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		next  int
+		fatal error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if fatal != nil || next >= len(X) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				p, err := m.Predict(X[i])
+				if err != nil {
+					mu.Lock()
+					if fatal == nil {
+						fatal = fmt.Errorf("boosthd: row %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+	if fatal != nil {
+		return nil, fatal
+	}
+	return out, nil
+}
+
+// Evaluate returns plain accuracy on a labeled set.
+func (m *Model) Evaluate(X [][]float64, y []int) (float64, error) {
+	if len(X) != len(y) || len(y) == 0 {
+		return 0, fmt.Errorf("boosthd: bad evaluation set (%d rows, %d labels)", len(X), len(y))
+	}
+	pred, err := m.PredictBatch(X)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y)), nil
+}
+
+// Segments returns the dimension partition as (lo, hi) pairs.
+func (m *Model) Segments() [][2]int {
+	out := make([][2]int, len(m.segs))
+	for i, s := range m.segs {
+		out[i] = [2]int{s.lo, s.hi}
+	}
+	return out
+}
+
+// ClassVectors returns every weak learner's class hypervectors,
+// learner-major. Fault injection flips bits here; span-utilization
+// analysis reads them.
+func (m *Model) ClassVectors() [][]hdc.Vector {
+	out := make([][]hdc.Vector, len(m.Learners))
+	for i, l := range m.Learners {
+		out[i] = l.Class
+	}
+	return out
+}
+
+// ConcatClassVectors stitches the per-learner class hypervectors back into
+// full-width class vectors (learner i's class-c vector occupies segment i).
+func (m *Model) ConcatClassVectors() []hdc.Vector {
+	out := make([]hdc.Vector, m.Cfg.Classes)
+	for c := range out {
+		out[c] = hdc.NewVector(m.Cfg.TotalDim)
+		for i, l := range m.Learners {
+			copy(out[c][m.segs[i].lo:m.segs[i].hi], l.Class[c])
+		}
+	}
+	return out
+}
+
+// EmbeddedClassVectors returns every stored model hypervector embedded at
+// its position in the full space: NL*K rows, where row (i, c) holds
+// learner i's class-c vector in segment i and zeros elsewhere. This is
+// the model-memory matrix whose span the paper's Figure 5 analyzes —
+// BoostHD populates NL*K directions of the hyperspace where monolithic
+// OnlineHD populates only K.
+func (m *Model) EmbeddedClassVectors() []hdc.Vector {
+	out := make([]hdc.Vector, 0, len(m.Learners)*m.Cfg.Classes)
+	for i, l := range m.Learners {
+		for _, cv := range l.Class {
+			row := hdc.NewVector(m.Cfg.TotalDim)
+			copy(row[m.segs[i].lo:m.segs[i].hi], cv)
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the ensemble (fault-injection trials mutate copies).
+func (m *Model) Clone() *Model {
+	out := &Model{Cfg: m.Cfg, Enc: m.Enc, segs: append([]segment(nil), m.segs...),
+		gamma: m.gamma, inputDim: m.inputDim}
+	out.Alphas = append([]float64(nil), m.Alphas...)
+	out.Learners = make([]*onlinehd.HVClassifier, len(m.Learners))
+	for i, l := range m.Learners {
+		out.Learners[i] = l.Clone()
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package boosthd
+
+import (
+	"fmt"
+	"math"
+
+	"boosthd/internal/encoding"
+	"boosthd/internal/hdc"
+)
+
+// hdEncoder abstracts the encoding stage of a BoostHD model: a single
+// shared projection, or one projection per dimension segment.
+type hdEncoder interface {
+	Encode(x []float64) (hdc.Vector, error)
+	EncodeBatch(xs [][]float64) ([]hdc.Vector, error)
+}
+
+// spreadEncoder realizes Figure 1's per-learner "HD Encoding" boxes: each
+// weak learner's dimension segment is produced by its own random
+// projection with its own kernel bandwidth. Spreading the bandwidths
+// geometrically around the base gamma gives the ensemble multi-scale
+// views of the input — coarse kernels for broad structure, sharp kernels
+// for fine structure — which is diversity a single shared bandwidth
+// cannot provide.
+type spreadEncoder struct {
+	encs []*encoding.Encoder // one per segment
+	dims []int
+	out  int
+}
+
+// newSpreadEncoder builds the encoder stack for cfg. GammaSpread <= 1 (or
+// a single learner) degenerates to one shared encoder with the base
+// bandwidth; otherwise learner i gets bandwidth
+// gamma * spread^(2i/(NL-1) - 1), covering [gamma/spread, gamma*spread].
+func newSpreadEncoder(features int, cfg Config, gamma float64) (hdEncoder, error) {
+	if cfg.GammaSpread <= 1 || cfg.NumLearners == 1 {
+		return encoding.NewWithGamma(features, cfg.TotalDim, cfg.Encoder, gamma, cfg.Seed)
+	}
+	segs := partition(cfg.TotalDim, cfg.NumLearners)
+	se := &spreadEncoder{out: cfg.TotalDim}
+	nl := float64(cfg.NumLearners - 1)
+	for i, s := range segs {
+		t := 2*float64(i)/nl - 1 // -1 .. +1 across learners
+		g := gamma * pow(cfg.GammaSpread, t)
+		enc, err := encoding.NewWithGamma(features, s.hi-s.lo, cfg.Encoder, g, cfg.Seed+int64(i)*7717)
+		if err != nil {
+			return nil, fmt.Errorf("boosthd: segment %d encoder: %w", i, err)
+		}
+		se.encs = append(se.encs, enc)
+		se.dims = append(se.dims, s.hi-s.lo)
+	}
+	return se, nil
+}
+
+func pow(base, exp float64) float64 {
+	if base <= 0 {
+		return 1
+	}
+	return math.Pow(base, exp)
+}
+
+// Encode concatenates the per-segment encodings into one full-width
+// hypervector, preserving the segment layout the learners expect.
+func (se *spreadEncoder) Encode(x []float64) (hdc.Vector, error) {
+	out := make(hdc.Vector, 0, se.out)
+	for _, enc := range se.encs {
+		h, err := enc.Encode(x)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h...)
+	}
+	return out, nil
+}
+
+// EncodeBatch encodes every row (each sub-encoder already parallelizes
+// across rows).
+func (se *spreadEncoder) EncodeBatch(xs [][]float64) ([]hdc.Vector, error) {
+	outs := make([]hdc.Vector, len(xs))
+	for i := range outs {
+		outs[i] = make(hdc.Vector, 0, se.out)
+	}
+	for _, enc := range se.encs {
+		part, err := enc.EncodeBatch(xs)
+		if err != nil {
+			return nil, err
+		}
+		for i := range outs {
+			outs[i] = append(outs[i], part[i]...)
+		}
+	}
+	return outs, nil
+}

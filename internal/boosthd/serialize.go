@@ -1,0 +1,113 @@
+package boosthd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"boosthd/internal/hdc"
+	"boosthd/internal/onlinehd"
+)
+
+// ensembleWire is the gob wire format of a trained BoostHD ensemble. Like
+// the OnlineHD format it ships only the learned state — the encoder stack
+// is rebuilt deterministically from the configuration and the stored
+// base bandwidth.
+type ensembleWire struct {
+	Cfg    Config
+	InDim  int
+	Gamma  float64 // resolved base bandwidth used at training time
+	Alphas []float64
+	Class  [][]hdc.Vector // [learner][class]
+}
+
+// Save serializes the ensemble to w in gob format.
+func (m *Model) Save(w io.Writer) error {
+	wire := ensembleWire{
+		Cfg:    m.Cfg,
+		InDim:  m.inputDim,
+		Gamma:  m.gamma,
+		Alphas: m.Alphas,
+		Class:  make([][]hdc.Vector, len(m.Learners)),
+	}
+	for i, l := range m.Learners {
+		wire.Class[i] = l.Class
+	}
+	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
+		return fmt.Errorf("boosthd: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs an ensemble previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var wire ensembleWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("boosthd: load: %w", err)
+	}
+	cfg := wire.Cfg
+	if wire.Gamma <= 0 {
+		return nil, fmt.Errorf("boosthd: load: invalid stored gamma %v", wire.Gamma)
+	}
+	enc, err := newSpreadEncoder(wire.InDim, cfg, wire.Gamma)
+	if err != nil {
+		return nil, fmt.Errorf("boosthd: load: %w", err)
+	}
+	if len(wire.Class) != cfg.NumLearners {
+		return nil, fmt.Errorf("boosthd: load: %d learner states for %d learners",
+			len(wire.Class), cfg.NumLearners)
+	}
+	if len(wire.Alphas) != cfg.NumLearners {
+		return nil, fmt.Errorf("boosthd: load: %d alphas for %d learners",
+			len(wire.Alphas), cfg.NumLearners)
+	}
+	m := &Model{
+		Cfg:      cfg,
+		Enc:      enc,
+		Alphas:   wire.Alphas,
+		Learners: make([]*onlinehd.HVClassifier, cfg.NumLearners),
+		segs:     partition(cfg.TotalDim, cfg.NumLearners),
+		gamma:    wire.Gamma,
+		inputDim: wire.InDim,
+	}
+	for i, class := range wire.Class {
+		dim := m.segs[i].hi - m.segs[i].lo
+		hv, err := onlinehd.NewHVClassifier(dim, cfg.Classes, cfg.LR)
+		if err != nil {
+			return nil, fmt.Errorf("boosthd: load: %w", err)
+		}
+		if len(class) != cfg.Classes {
+			return nil, fmt.Errorf("boosthd: load: learner %d has %d class vectors", i, len(class))
+		}
+		for c, cv := range class {
+			if len(cv) != dim {
+				return nil, fmt.Errorf("boosthd: load: learner %d class %d dim %d, want %d",
+					i, c, len(cv), dim)
+			}
+		}
+		hv.Class = class
+		m.Learners[i] = hv
+	}
+	return m, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's contents.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	loaded, err := Load(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	*m = *loaded
+	return nil
+}

@@ -1,0 +1,79 @@
+package boosthd
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	X, y := blobs(90, 0.3, 21)
+	cfg := DefaultConfig(400, 5, 3)
+	cfg.Epochs = 3
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions on every training row.
+	orig, err := m.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if orig[i] != got[i] {
+			t.Fatalf("prediction %d differs after round trip: %d vs %d", i, orig[i], got[i])
+		}
+	}
+	// Alphas preserved exactly.
+	for i := range m.Alphas {
+		if m.Alphas[i] != loaded.Alphas[i] {
+			t.Fatal("alphas differ after round trip")
+		}
+	}
+}
+
+func TestSaveLoadMultiScaleEncoder(t *testing.T) {
+	X, y := blobs(60, 0.3, 22)
+	cfg := DefaultConfig(300, 5, 3)
+	cfg.Epochs = 2
+	cfg.GammaSpread = 4 // exercises the spread-encoder reconstruction
+	m, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Model
+	if err := loaded.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := m.PredictBatch(X)
+	got, err := loaded.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if orig[i] != got[i] {
+			t.Fatal("multi-scale model predictions differ after round trip")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("expected decode error")
+	}
+}

@@ -1,0 +1,55 @@
+package encoding
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// GammaHeuristic estimates a kernel bandwidth from training data using the
+// median-distance heuristic: gamma = scale / median(||x - x'||) over up to
+// maxPairs random sample pairs. The resulting phase spread between typical
+// points is O(scale), independent of feature count or correlation
+// structure — the property the fixed 1/sqrt(F) rule only approximates.
+// A scale around 0.3-0.5 works well for the OnlineHD encoder; callers that
+// pass non-positive scale get 0.35.
+//
+// Degenerate inputs (fewer than 2 rows, or all rows identical) fall back
+// to DefaultGamma.
+func GammaHeuristic(X [][]float64, scale float64, rng *rand.Rand) float64 {
+	if scale <= 0 {
+		scale = 0.35
+	}
+	if len(X) < 2 || len(X[0]) == 0 {
+		if len(X) == 1 {
+			return DefaultGamma(len(X[0]))
+		}
+		return DefaultGamma(1)
+	}
+	const maxPairs = 512
+	dists := make([]float64, 0, maxPairs)
+	n := len(X)
+	for k := 0; k < maxPairs; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		var s float64
+		for f, xv := range X[i] {
+			d := xv - X[j][f]
+			s += d * d
+		}
+		if s > 0 {
+			dists = append(dists, math.Sqrt(s))
+		}
+	}
+	if len(dists) == 0 {
+		return DefaultGamma(len(X[0]))
+	}
+	sort.Float64s(dists)
+	med := dists[len(dists)/2]
+	if med == 0 {
+		return DefaultGamma(len(X[0]))
+	}
+	return scale / med
+}

@@ -1,0 +1,102 @@
+package encoding
+
+import (
+	"fmt"
+	"math/rand"
+
+	"boosthd/internal/hdc"
+)
+
+// IDLevelEncoder implements the classic record-based HDC encoding: each
+// feature index gets a random ID hypervector, each quantized magnitude a
+// level hypervector, and a sample is the bundle of Bind(ID_i, Level(x_i)).
+// Level hypervectors are built by progressively flipping components of a
+// base vector so nearby magnitudes stay similar (locality-preserving).
+type IDLevelEncoder struct {
+	InDim  int
+	OutDim int
+	Levels int
+	Lo, Hi float64 // expected feature range; values are clamped
+
+	ids    []hdc.Vector // one bipolar ID per feature
+	levels []hdc.Vector // Levels bipolar vectors, progressively flipped
+}
+
+// NewIDLevel builds an ID-level encoder for features in [lo, hi] quantized
+// into levels buckets.
+func NewIDLevel(inDim, outDim, levels int, lo, hi float64, seed int64) (*IDLevelEncoder, error) {
+	if inDim <= 0 || outDim <= 0 {
+		return nil, fmt.Errorf("encoding: invalid dimensions in=%d out=%d", inDim, outDim)
+	}
+	if levels < 2 {
+		return nil, fmt.Errorf("encoding: need at least 2 levels, got %d", levels)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("encoding: invalid range [%v, %v]", lo, hi)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	e := &IDLevelEncoder{InDim: inDim, OutDim: outDim, Levels: levels, Lo: lo, Hi: hi}
+	e.ids = make([]hdc.Vector, inDim)
+	for i := range e.ids {
+		e.ids[i] = hdc.RandomBipolar(outDim, rng)
+	}
+	// Level 0 is random; each next level flips outDim/(2*(levels-1))
+	// components so level 0 and level Levels-1 are ~orthogonal.
+	e.levels = make([]hdc.Vector, levels)
+	e.levels[0] = hdc.RandomBipolar(outDim, rng)
+	perLevel := outDim / (2 * (levels - 1))
+	if perLevel < 1 {
+		perLevel = 1
+	}
+	perm := rng.Perm(outDim)
+	pos := 0
+	for l := 1; l < levels; l++ {
+		v := e.levels[l-1].Clone()
+		for k := 0; k < perLevel && pos < len(perm); k++ {
+			v[perm[pos]] = -v[perm[pos]]
+			pos++
+		}
+		e.levels[l] = v
+	}
+	return e, nil
+}
+
+// quantize maps a feature value to a level index, clamping to the range.
+func (e *IDLevelEncoder) quantize(x float64) int {
+	if x <= e.Lo {
+		return 0
+	}
+	if x >= e.Hi {
+		return e.Levels - 1
+	}
+	l := int(float64(e.Levels) * (x - e.Lo) / (e.Hi - e.Lo))
+	if l >= e.Levels {
+		l = e.Levels - 1
+	}
+	return l
+}
+
+// Encode maps one feature vector to the bundled record hypervector.
+func (e *IDLevelEncoder) Encode(x []float64) (hdc.Vector, error) {
+	if len(x) != e.InDim {
+		return nil, fmt.Errorf("encoding: feature length %d != InDim %d", len(x), e.InDim)
+	}
+	h := hdc.NewVector(e.OutDim)
+	for i, xv := range x {
+		lvl := e.levels[e.quantize(xv)]
+		id := e.ids[i]
+		for j := 0; j < e.OutDim; j++ {
+			h[j] += id[j] * lvl[j]
+		}
+	}
+	return h, nil
+}
+
+// LevelSim returns the cosine similarity between two quantization levels;
+// tests use it to verify locality preservation.
+func (e *IDLevelEncoder) LevelSim(a, b int) float64 {
+	if a < 0 || b < 0 || a >= e.Levels || b >= e.Levels {
+		return 0
+	}
+	return hdc.Cosine(e.levels[a], e.levels[b])
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"boosthd/internal/dataset"
+	"boosthd/internal/signal"
+	"boosthd/internal/synth"
+)
+
+// built caches synthesized datasets across runners (generation is pure in
+// the config, so sharing is safe).
+var (
+	builtMu sync.Mutex
+	built   = map[string]*builtDataset{}
+)
+
+type builtDataset struct {
+	data     *dataset.Dataset
+	subjects []synth.Subject
+}
+
+// buildCached synthesizes (or fetches) the dataset for cfg.
+func buildCached(cfg synth.Config) (*builtDataset, error) {
+	key := fmt.Sprintf("%s/%d/%d/%v/%v/%v/%v/%d", cfg.Name, cfg.NumSubjects,
+		cfg.SamplesPerState, cfg.Separability, cfg.SensorNoise, cfg.LabelNoise,
+		cfg.Derivatives, cfg.Seed)
+	builtMu.Lock()
+	defer builtMu.Unlock()
+	if b, ok := built[key]; ok {
+		return b, nil
+	}
+	d, subjects, err := synth.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &builtDataset{data: d, subjects: subjects}
+	built[key] = b
+	return b, nil
+}
+
+// split holds a normalized train/test partition ready for model training.
+type split struct {
+	name       string
+	train      *dataset.Dataset
+	test       *dataset.Dataset
+	subjects   []synth.Subject
+	testIDs    []int
+	numClasses int
+}
+
+// deepCopyX replaces a dataset's feature rows with private copies so
+// normalization cannot corrupt the shared cache.
+func deepCopyX(d *dataset.Dataset) {
+	for i, row := range d.X {
+		c := make([]float64, len(row))
+		copy(c, row)
+		d.X[i] = c
+	}
+}
+
+// prepare builds the dataset for cfg, performs a subject-wise split with
+// the given seed, and z-score-normalizes features using training
+// statistics only (the paper's protocol).
+func prepare(cfg synth.Config, splitSeed int64) (*split, error) {
+	b, err := buildCached(cfg)
+	if err != nil {
+		return nil, err
+	}
+	train, test, testIDs, err := synth.SubjectSplit(b.data, b.subjects, 0.3, splitSeed)
+	if err != nil {
+		return nil, err
+	}
+	deepCopyX(train)
+	deepCopyX(test)
+	norm, err := signal.FitNormalizer(train.X, signal.ZScore)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := norm.Apply(train.X); err != nil {
+		return nil, err
+	}
+	if _, err := norm.Apply(test.X); err != nil {
+		return nil, err
+	}
+	return &split{
+		name:       cfg.Name,
+		train:      train,
+		test:       test,
+		subjects:   b.subjects,
+		testIDs:    testIDs,
+		numClasses: b.data.NumClasses,
+	}, nil
+}
+
+// prepareHoldOut is like prepare but places exactly the given subjects in
+// the test side (Table III evaluates attribute-defined cohorts).
+func prepareHoldOut(cfg synth.Config, testSubjects []int) (*split, error) {
+	b, err := buildCached(cfg)
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := dataset.SplitBySubjects(b.data, testSubjects)
+	if err != nil {
+		return nil, err
+	}
+	deepCopyX(train)
+	deepCopyX(test)
+	norm, err := signal.FitNormalizer(train.X, signal.ZScore)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := norm.Apply(train.X); err != nil {
+		return nil, err
+	}
+	if _, err := norm.Apply(test.X); err != nil {
+		return nil, err
+	}
+	return &split{
+		name:       cfg.Name,
+		train:      train,
+		test:       test,
+		subjects:   b.subjects,
+		testIDs:    testSubjects,
+		numClasses: b.data.NumClasses,
+	}, nil
+}

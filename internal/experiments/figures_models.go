@@ -1,0 +1,379 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/dataset"
+	"boosthd/internal/faults"
+	"boosthd/internal/nn"
+	"boosthd/internal/spanutil"
+	"boosthd/internal/stats"
+)
+
+// figureDataset builds the reduced WESAD-style workload the model figures
+// share: hard enough that dimension/learner choices matter, small enough
+// that dozens of ensembles train in seconds.
+func figureDataset(opt Options, separability float64) (*split, error) {
+	return figureDatasetSized(opt, separability, 8, 768)
+}
+
+// figureDatasetSized lets individual figures pick their cohort size (grid
+// figures need larger test sets to keep cell noise below the effects they
+// visualize).
+func figureDatasetSized(opt Options, separability float64, subjects, samples int) (*split, error) {
+	cfg := opt.wesadConfig()
+	cfg.Separability = separability
+	if opt.Quick {
+		cfg.NumSubjects = subjects
+		cfg.SamplesPerState = samples
+	}
+	return prepare(opt.applyOverrides(cfg), opt.Seed)
+}
+
+// trainHD trains a BoostHD ensemble (nl=1 degenerates to OnlineHD) and
+// returns its test accuracy.
+func trainHD(sp *split, totalDim, nl, epochs int, seed int64) (float64, *boosthd.Model, error) {
+	cfg := boosthd.DefaultConfig(totalDim, nl, sp.numClasses)
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	m, err := boosthd.Train(sp.train.X, sp.train.Y, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	acc, err := m.Evaluate(sp.test.X, sp.test.Y)
+	if err != nil {
+		return 0, nil, err
+	}
+	return acc, m, nil
+}
+
+// RunFigure3 reproduces Figure 3: accuracy as a function of NL and
+// dimensionality. Panel (a) fixes the per-learner dimension; panel (b)
+// divides a fixed total dimension among the learners, exposing the
+// unstable region where Dtotal/NL starves each weak learner.
+func RunFigure3(opt Options) (*Table, *Table, error) {
+	sp, err := figureDatasetSized(opt, 0.5, 10, 1536)
+	if err != nil {
+		return nil, nil, err
+	}
+	epochs := opt.quality().HDEpochs
+	nls := []int{1, 2, 5, 10, 25, 50}
+	perDims := []int{10, 50, 100, 500}
+	totals := []int{200, 1000, 2000, 10000}
+	if !opt.Quick {
+		nls = []int{1, 2, 5, 10, 20, 50, 100}
+		perDims = []int{10, 100, 500, 1000}
+		totals = []int{1000, 2000, 5000, 10000}
+	}
+
+	header := []string{"dim \\ NL"}
+	for _, nl := range nls {
+		header = append(header, fmt.Sprint(nl))
+	}
+	a := &Table{Title: "Figure 3(a): accuracy (%), per-learner dimension D fixed", Header: header}
+	for _, d := range perDims {
+		row := []string{fmt.Sprint(d)}
+		for _, nl := range nls {
+			acc, _, err := trainHD(sp, d*nl, nl, epochs, opt.Seed)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig3a d=%d nl=%d: %w", d, nl, err)
+			}
+			row = append(row, fmt.Sprintf("%.1f", acc*100))
+		}
+		a.AddRow(row...)
+	}
+	a.AddNote("paper: accuracy grows and stabilizes with both D and NL when every learner keeps its baseline dimensionality")
+
+	b := &Table{Title: "Figure 3(b): accuracy (%), total dimension Dtotal divided among NL", Header: header}
+	for _, total := range totals {
+		row := []string{fmt.Sprint(total)}
+		for _, nl := range nls {
+			if total < nl {
+				row = append(row, "-")
+				continue
+			}
+			acc, _, err := trainHD(sp, total, nl, epochs, opt.Seed)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig3b total=%d nl=%d: %w", total, nl, err)
+			}
+			row = append(row, fmt.Sprintf("%.1f", acc*100))
+		}
+		b.AddRow(row...)
+	}
+	b.AddNote("paper: lower-left region (small Dtotal, large NL) is unstable — e.g. NL=100 at Dtotal=1K collapses")
+	return a, b, nil
+}
+
+// RunFigure5 reproduces Figure 5: span utilization of BoostHD vs OnlineHD
+// class hypervectors after training on the same data and total dimension.
+func RunFigure5(opt Options) (*Table, error) {
+	sp, err := figureDataset(opt, 0.7)
+	if err != nil {
+		return nil, err
+	}
+	q := opt.quality()
+	_, online, err := trainHD(sp, q.HDDim, 1, q.HDEpochs, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Geometry comparison uses the single-bandwidth ensemble: with the
+	// multi-scale encoder spread the coarse segments dominate the global
+	// cosine and mask the partitioning effect this figure isolates.
+	bcfg := boosthd.DefaultConfig(q.HDDim, q.NL, sp.numClasses)
+	bcfg.Epochs = q.HDEpochs
+	bcfg.Seed = opt.Seed
+	bcfg.GammaSpread = 0
+	boost, err := boosthd.Train(sp.train.X, sp.train.Y, bcfg)
+	if err != nil {
+		return nil, err
+	}
+	// The model-memory matrix: every stored hypervector embedded in the
+	// full space. OnlineHD stores K rows; BoostHD stores NL*K block-
+	// sparse rows whose cross-segment pairs are exactly orthogonal.
+	onlineRep, err := spanutil.Analyze(online.EmbeddedClassVectors())
+	if err != nil {
+		return nil, err
+	}
+	boostRep, err := spanutil.Analyze(boost.EmbeddedClassVectors())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 5: span utilization of model hypervectors (Dtotal=" + fmt.Sprint(q.HDDim) + ")",
+		Header: []string{"Model", "rank(K)", "rank util", "mean |cos|", "SP"},
+	}
+	t.AddRow("OnlineHD", fmt.Sprint(onlineRep.Rank), fmt.Sprintf("%.3f", onlineRep.RankUtilization),
+		fmt.Sprintf("%.4f", onlineRep.MeanAbsCosine), fmt.Sprintf("%.3e", onlineRep.SP))
+	t.AddRow("BoostHD", fmt.Sprint(boostRep.Rank), fmt.Sprintf("%.3f", boostRep.RankUtilization),
+		fmt.Sprintf("%.4f", boostRep.MeanAbsCosine), fmt.Sprintf("%.3e", boostRep.SP))
+	ratio, err := spanutil.Compare(boostRep, onlineRep)
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("SP ratio BoostHD/OnlineHD = %.3f (paper: BoostHD uses much more of the space)", ratio)
+	return t, nil
+}
+
+// RunFigure6 reproduces Figure 6: accuracy and its standard deviation as a
+// function of D for BoostHD (NL=10) and OnlineHD, over opt.Runs seeds.
+func RunFigure6(opt Options) (*Table, error) {
+	sp, err := figureDataset(opt, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	epochs := opt.quality().HDEpochs
+	dims := []int{50, 100, 200, 500, 1000, 2000, 4000}
+	t := &Table{
+		Title:  "Figure 6: accuracy vs D with std over " + fmt.Sprint(opt.Runs) + " runs",
+		Header: []string{"D", "OnlineHD acc%", "OnlineHD std", "BoostHD acc%", "BoostHD std"},
+	}
+	var onlineSigmas, boostSigmas []float64
+	var onlineSigmasHealthy, boostSigmasHealthy []float64
+	for _, d := range dims {
+		var onlineAccs, boostAccs []float64
+		for r := 0; r < opt.Runs; r++ {
+			seed := opt.Seed + int64(r)*17
+			oAcc, _, err := trainHD(sp, d, 1, epochs, seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 online d=%d: %w", d, err)
+			}
+			nl := 10
+			if d < 10 {
+				nl = d
+			}
+			bAcc, _, err := trainHD(sp, d, nl, epochs, seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 boost d=%d: %w", d, err)
+			}
+			onlineAccs = append(onlineAccs, oAcc*100)
+			boostAccs = append(boostAccs, bAcc*100)
+		}
+		oSum := stats.Summarize(onlineAccs)
+		bSum := stats.Summarize(boostAccs)
+		onlineSigmas = append(onlineSigmas, oSum.Std)
+		boostSigmas = append(boostSigmas, bSum.Std)
+		if d >= 500 { // >= 50 dims per learner: baseline dimensionality met
+			onlineSigmasHealthy = append(onlineSigmasHealthy, oSum.Std)
+			boostSigmasHealthy = append(boostSigmasHealthy, bSum.Std)
+		}
+		t.AddRow(fmt.Sprint(d),
+			fmt.Sprintf("%.2f", oSum.Mean), fmt.Sprintf("%.3f", oSum.Std),
+			fmt.Sprintf("%.2f", bSum.Mean), fmt.Sprintf("%.3f", bSum.Std))
+	}
+	t.AddNote("mean sigma, all D: OnlineHD %.4f vs BoostHD %.4f",
+		stats.Mean(onlineSigmas)/100, stats.Mean(boostSigmas)/100)
+	t.AddNote("mean sigma, D >= 500 (baseline dimensionality met, the paper's condition): OnlineHD %.4f vs BoostHD %.4f (paper: 0.0127 vs 0.0046)",
+		stats.Mean(onlineSigmasHealthy)/100, stats.Mean(boostSigmasHealthy)/100)
+	return t, nil
+}
+
+// RunFigure7 reproduces Figure 7: macro accuracy under the Eq. 8 class-
+// imbalance protocol, r in [0, 0.8], for Dtotal = 1000 and 4000 (NL=10).
+func RunFigure7(opt Options) (*Table, error) {
+	sp, err := figureDataset(opt, 0.6)
+	if err != nil {
+		return nil, err
+	}
+	epochs := opt.quality().HDEpochs
+	rs := []float64{0, 0.3, 0.6, 0.8, 0.95}
+	totals := []int{1000, 4000}
+	header := []string{"r"}
+	for _, d := range totals {
+		header = append(header,
+			fmt.Sprintf("OnlineHD D=%d", d), fmt.Sprintf("BoostHD D=%d", d))
+	}
+	t := &Table{Title: "Figure 7: macro accuracy (%) under imbalance (Eq. 8, target class 0)", Header: header}
+
+	for _, r := range rs {
+		row := []string{fmt.Sprintf("%.2f", r)}
+		for _, total := range totals {
+			var oAccs, bAccs []float64
+			for run := 0; run < opt.Runs; run++ {
+				rng := rand.New(rand.NewSource(opt.Seed + int64(run)*131))
+				imb, err := dataset.Imbalance(sp.train, 0, r, rng)
+				if err != nil {
+					return nil, err
+				}
+				seed := opt.Seed + int64(run)*17
+				macro := func(nl int) (float64, error) {
+					cfg := boosthd.DefaultConfig(total, nl, sp.numClasses)
+					cfg.Epochs = epochs
+					cfg.Seed = seed
+					m, err := boosthd.Train(imb.X, imb.Y, cfg)
+					if err != nil {
+						return 0, err
+					}
+					pred, err := m.PredictBatch(sp.test.X)
+					if err != nil {
+						return 0, err
+					}
+					mAcc, err := stats.MacroAccuracy(pred, sp.test.Y, sp.numClasses)
+					return mAcc * 100, err
+				}
+				o, err := macro(1)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 online r=%v: %w", r, err)
+				}
+				b, err := macro(10)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 boost r=%v: %w", r, err)
+				}
+				oAccs = append(oAccs, o)
+				bAccs = append(bAccs, b)
+			}
+			row = append(row, fmt.Sprintf("%.2f", stats.Mean(oAccs)), fmt.Sprintf("%.2f", stats.Mean(bAccs)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: OnlineHD declines as r grows; BoostHD holds its macro accuracy")
+	return t, nil
+}
+
+// RunFigure8 reproduces Figure 8: accuracy under bit-flip noise at
+// per-bit probabilities around 1e-6 and 1e-5, with MAD robustness
+// statistics, for BoostHD, OnlineHD, and the DNN.
+func RunFigure8(opt Options) (*Table, error) {
+	sp, err := figureDataset(opt, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	q := opt.quality()
+	trials := 100
+	if opt.Quick {
+		trials = 25
+	}
+
+	// Train the three models once.
+	_, online, err := trainHD(sp, q.HDDim, 1, q.HDEpochs, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	_, boost, err := trainHD(sp, q.HDDim, q.NL, q.HDEpochs, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// The DNN uses the paper's layer widths: bit-flip exposure scales
+	// with parameter count, so a shrunken network would look unfairly
+	// robust. A short training run suffices — the figure measures
+	// degradation relative to the model's own fault-free baseline.
+	dnnCfg := nn.DefaultConfig(sp.numClasses)
+	dnnCfg.Hidden = []int{2048, 1024, 512}
+	dnnCfg.Epochs = 3
+	dnnCfg.Seed = opt.Seed
+	dnn, err := nn.New(len(sp.train.X[0]), dnnCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := dnn.Fit(sp.train.X, sp.train.Y); err != nil {
+		return nil, err
+	}
+
+	pbs := []float64{1e-6, 2e-6, 5e-6, 1e-5, 2e-5}
+	t := &Table{
+		Title:  "Figure 8: accuracy (%) under bit flips, mean over " + fmt.Sprint(trials) + " trials",
+		Header: []string{"p_b", "OnlineHD", "BoostHD", "DNN"},
+	}
+	// Collect per-pb trial accuracies for the MAD robustness statistics.
+	perPb := map[string]map[float64][]float64{
+		"OnlineHD": {}, "BoostHD": {}, "DNN": {},
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 4242))
+	for _, pb := range pbs {
+		var oAccs, bAccs, dAccs []float64
+		for trial := 0; trial < trials; trial++ {
+			inj, err := faults.NewInjector(pb, rng)
+			if err != nil {
+				return nil, err
+			}
+			// OnlineHD: flip class-vector bits.
+			oc := online.Clone()
+			for _, learner := range oc.Learners {
+				for _, cv := range learner.Class {
+					inj.InjectFloat32(cv)
+				}
+			}
+			oAcc, err := oc.Evaluate(sp.test.X, sp.test.Y)
+			if err != nil {
+				return nil, err
+			}
+			// BoostHD: same flip model across all partitions.
+			bc := boost.Clone()
+			for _, learner := range bc.Learners {
+				for _, cv := range learner.Class {
+					inj.InjectFloat32(cv)
+				}
+			}
+			bAcc, err := bc.Evaluate(sp.test.X, sp.test.Y)
+			if err != nil {
+				return nil, err
+			}
+			// DNN: flip weight bits.
+			dc := dnn.Clone()
+			inj.InjectAll32(dc.Weights()...)
+			dAcc, err := dc.Evaluate(sp.test.X, sp.test.Y)
+			if err != nil {
+				return nil, err
+			}
+			oAccs = append(oAccs, oAcc*100)
+			bAccs = append(bAccs, bAcc*100)
+			dAccs = append(dAccs, dAcc*100)
+		}
+		perPb["OnlineHD"][pb] = oAccs
+		perPb["BoostHD"][pb] = bAccs
+		perPb["DNN"][pb] = dAccs
+		t.AddRow(fmt.Sprintf("%.0e", pb),
+			fmt.Sprintf("%.2f", stats.Mean(oAccs)),
+			fmt.Sprintf("%.2f", stats.Mean(bAccs)),
+			fmt.Sprintf("%.2f", stats.Mean(dAccs)))
+	}
+	for _, pb := range []float64{1e-5, 2e-5} {
+		t.AddNote("MAD at p_b=%.0e: OnlineHD %.4f, BoostHD %.4f, DNN %.4f (paper panel (a), p_b=1e-5: 0.1454, 0.024, 0.083)",
+			pb, stats.MAD(perPb["OnlineHD"][pb])/100,
+			stats.MAD(perPb["BoostHD"][pb])/100,
+			stats.MAD(perPb["DNN"][pb])/100)
+	}
+	t.AddNote("paper: BoostHD loses <= 5.7%% at p_b=1e-5 — ~1/4 of OnlineHD's loss, ~1/7 of DNN's")
+	return t, nil
+}

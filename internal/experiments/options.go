@@ -1,0 +1,105 @@
+package experiments
+
+import "boosthd/internal/synth"
+
+// Options scales every experiment between a fast smoke configuration and
+// the paper-scale configuration.
+type Options struct {
+	Runs  int   // repeated runs per cell (paper: 10)
+	Quick bool  // shrink dimensions/epochs/datasets for fast iteration
+	Seed  int64 // base seed; run r uses Seed+r
+
+	// SubjectsOverride and SamplesOverride, when positive, replace the
+	// per-dataset cohort size and raw samples per state. They exist for
+	// smoke tests; reported results should use the defaults.
+	SubjectsOverride int
+	SamplesOverride  int
+
+	// HDDimOverride, when positive, replaces the HDC total dimension —
+	// smoke tests shrink it to keep encoding cheap.
+	HDDimOverride int
+}
+
+// Defaults returns the fast configuration used by tests and benchmarks.
+func Defaults() Options { return Options{Runs: 3, Quick: true, Seed: 7} }
+
+// PaperScale returns the configuration matching the paper's setup (10
+// runs, Dtotal up to 10K, full synthetic cohorts). Budget minutes, not
+// seconds.
+func PaperScale() Options { return Options{Runs: 10, Quick: false, Seed: 7} }
+
+// quality holds the derived model/dataset scaling knobs.
+type quality struct {
+	HDDim     int // Dtotal for OnlineHD/BoostHD
+	NL        int // BoostHD learners
+	HDEpochs  int
+	DNNHidden []int
+	DNNEpochs int
+	NumTrees  int
+	TreeDepth int
+	SVMEpochs int
+}
+
+func (o Options) quality() quality {
+	q := quality{
+		HDDim:     10000,
+		NL:        10,
+		HDEpochs:  20,
+		DNNHidden: []int{2048, 1024, 512},
+		DNNEpochs: 10,
+		NumTrees:  10,
+		TreeDepth: 12,
+		SVMEpochs: 20,
+	}
+	if o.Quick {
+		q.DNNHidden = []int{256, 128, 64}
+		q.DNNEpochs = 20
+		q.TreeDepth = 10
+		q.SVMEpochs = 10
+	}
+	if o.HDDimOverride > 0 {
+		q.HDDim = o.HDDimOverride
+	}
+	return q
+}
+
+// applyOverrides shrinks cfg according to the test-only overrides.
+func (o Options) applyOverrides(cfg synth.Config) synth.Config {
+	if o.SubjectsOverride > 0 {
+		cfg.NumSubjects = o.SubjectsOverride
+	}
+	if o.SamplesOverride > 0 {
+		cfg.SamplesPerState = o.SamplesOverride
+	}
+	return cfg
+}
+
+// wesadConfig returns the WESAD synth config scaled by o.
+func (o Options) wesadConfig() synth.Config {
+	cfg := synth.WESADConfig()
+	if o.Quick {
+		cfg.NumSubjects = 10
+		cfg.SamplesPerState = 2048
+	}
+	return o.applyOverrides(cfg)
+}
+
+// nurseConfig returns the Nurse Stress synth config scaled by o.
+func (o Options) nurseConfig() synth.Config {
+	cfg := synth.NurseStressConfig()
+	if o.Quick {
+		cfg.NumSubjects = 18
+		cfg.SamplesPerState = 768
+	}
+	return o.applyOverrides(cfg)
+}
+
+// stressPredictConfig returns the Stress-Predict synth config scaled by o.
+func (o Options) stressPredictConfig() synth.Config {
+	cfg := synth.StressPredictConfig()
+	if o.Quick {
+		cfg.NumSubjects = 10
+		cfg.SamplesPerState = 768
+	}
+	return o.applyOverrides(cfg)
+}

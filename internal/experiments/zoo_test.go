@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// zooBlobs is a tiny separable problem every zoo model must solve.
+func zooBlobs(n int) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(77))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 3
+		y[i] = c
+		X[i] = make([]float64, 6)
+		for j := range X[i] {
+			X[i][j] = 0.3 * rng.NormFloat64()
+		}
+		X[i][c] += 2
+	}
+	return X, y
+}
+
+// TestEveryZooModelTrainsAndPredicts exercises each Table I model through
+// the shared adapter interface on an easy problem.
+func TestEveryZooModelTrainsAndPredicts(t *testing.T) {
+	X, y := zooBlobs(120)
+	q := quality{
+		HDDim:     500,
+		NL:        5,
+		HDEpochs:  5,
+		DNNHidden: []int{32, 16},
+		DNNEpochs: 40,
+		NumTrees:  5,
+		TreeDepth: 5,
+		SVMEpochs: 10,
+	}
+	for _, spec := range zoo() {
+		pred, err := spec.Train(X, y, 3, 1, q)
+		if err != nil {
+			t.Fatalf("%s: train: %v", spec.Name, err)
+		}
+		yhat, err := pred(X)
+		if err != nil {
+			t.Fatalf("%s: predict: %v", spec.Name, err)
+		}
+		correct := 0
+		for i := range yhat {
+			if yhat[i] == y[i] {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(y))
+		if acc < 0.85 {
+			t.Errorf("%s: training accuracy %v on separable blobs, want >= 0.85", spec.Name, acc)
+		}
+	}
+}

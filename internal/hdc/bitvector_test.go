@@ -1,0 +1,187 @@
+package hdc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBitVector(t *testing.T) {
+	b := NewBitVector(100)
+	if b.N != 100 || len(b.Words) != 2 {
+		t.Errorf("unexpected shape: N=%d words=%d", b.N, len(b.Words))
+	}
+	if b.Ones() != 0 {
+		t.Error("new bitvector should be all zeros")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive dimension")
+		}
+	}()
+	NewBitVector(0)
+}
+
+func TestSetGet(t *testing.T) {
+	b := NewBitVector(130)
+	b.Set(0, true)
+	b.Set(64, true)
+	b.Set(129, true)
+	for _, i := range []int{0, 64, 129} {
+		if !b.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if b.Ones() != 3 {
+		t.Errorf("Ones = %d, want 3", b.Ones())
+	}
+	b.Set(64, false)
+	if b.Get(64) {
+		t.Error("bit 64 should be cleared")
+	}
+}
+
+func TestRandomBitsTailMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := RandomBits(70, rng) // 6 tail bits must be zeroed
+	tail := b.Words[1] >> 6
+	if tail != 0 {
+		t.Errorf("tail bits not masked: %x", tail)
+	}
+	if b.Ones() > 70 {
+		t.Errorf("Ones = %d exceeds dimension", b.Ones())
+	}
+}
+
+func TestXORBindingProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomBits(256, rng)
+	b := RandomBits(256, rng)
+	ab := XOR(a, b)
+	// Self-inverse: (a^b)^b == a.
+	back := XOR(ab, b)
+	if Hamming(back, a) != 0 {
+		t.Error("XOR binding must be self-inverse")
+	}
+	// XOR with itself is zero.
+	if XOR(a, a).Ones() != 0 {
+		t.Error("a^a must be zero")
+	}
+}
+
+func TestHamming(t *testing.T) {
+	a := NewBitVector(8)
+	b := NewBitVector(8)
+	a.Set(0, true)
+	a.Set(3, true)
+	b.Set(3, true)
+	b.Set(5, true)
+	if d := Hamming(a, b); d != 2 {
+		t.Errorf("Hamming = %d, want 2", d)
+	}
+}
+
+func TestHammingSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandomBits(4096, rng)
+	if s := HammingSim(a, a); s != 1 {
+		t.Errorf("self-similarity = %v, want 1", s)
+	}
+	comp := a.Clone()
+	for i := range comp.Words {
+		comp.Words[i] = ^comp.Words[i]
+	}
+	comp.maskTail()
+	if s := HammingSim(a, comp); s != -1 {
+		t.Errorf("complement similarity = %v, want -1", s)
+	}
+	b := RandomBits(4096, rng)
+	if s := HammingSim(a, b); math.Abs(s) > 0.08 {
+		t.Errorf("random vectors should be quasi-orthogonal: %v", s)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	a := NewBitVector(4)
+	b := NewBitVector(4)
+	c := NewBitVector(4)
+	// bit0: 3 votes, bit1: 2 votes, bit2: 1 vote, bit3: 0 votes
+	a.Set(0, true)
+	b.Set(0, true)
+	c.Set(0, true)
+	a.Set(1, true)
+	b.Set(1, true)
+	a.Set(2, true)
+	m := Majority(a, b, c)
+	if !m.Get(0) || !m.Get(1) || m.Get(2) || m.Get(3) {
+		t.Errorf("Majority bits = %v %v %v %v", m.Get(0), m.Get(1), m.Get(2), m.Get(3))
+	}
+	if Majority() != nil {
+		t.Error("Majority() should be nil")
+	}
+}
+
+func TestMajorityRetainsSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vs := make([]*BitVector, 5)
+	for i := range vs {
+		vs[i] = RandomBits(4096, rng)
+	}
+	m := Majority(vs...)
+	for i, v := range vs {
+		if s := HammingSim(m, v); s < 0.2 {
+			t.Errorf("majority should stay similar to component %d: %v", i, s)
+		}
+	}
+}
+
+func TestFromVectorToVectorRoundTrip(t *testing.T) {
+	v := Vector{-1.5, 2.3, -0.1, 0}
+	b := FromVector(v)
+	if b.Get(0) || !b.Get(1) || b.Get(2) || !b.Get(3) {
+		t.Error("FromVector thresholding wrong")
+	}
+	back := b.ToVector()
+	want := Vector{-1, 1, -1, 1}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("ToVector = %v, want %v", back, want)
+		}
+	}
+}
+
+// Property: Hamming distance is a metric (symmetry + identity + triangle).
+func TestHammingMetricQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seedA, seedB, seedC int64) bool {
+		n := 64 + rng.Intn(100)
+		a := RandomBits(n, rand.New(rand.NewSource(seedA)))
+		b := RandomBits(n, rand.New(rand.NewSource(seedB)))
+		c := RandomBits(n, rand.New(rand.NewSource(seedC)))
+		if Hamming(a, b) != Hamming(b, a) {
+			return false
+		}
+		if Hamming(a, a) != 0 {
+			return false
+		}
+		return Hamming(a, c) <= Hamming(a, b)+Hamming(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR never changes the dimension and Ones stays within [0, N].
+func TestXOROnesBoundsQuick(t *testing.T) {
+	f := func(seedA, seedB int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		a := RandomBits(n, rand.New(rand.NewSource(seedA)))
+		b := RandomBits(n, rand.New(rand.NewSource(seedB)))
+		x := XOR(a, b)
+		return x.N == n && x.Ones() >= 0 && x.Ones() <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

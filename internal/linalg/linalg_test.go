@@ -1,0 +1,323 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero dimension")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != 2 {
+		t.Errorf("unexpected contents: %+v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("expected ragged-row error")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("expected empty error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose shape = %dx%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if !almostEq(c.At(i, j), want[i][j], 1e-12) {
+				t.Errorf("c(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := Mul(a, NewMatrix(3, 2)); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := m.MulVec([]float64{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MulVec = %v, want [-2 -2]", y)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestGramMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(7, 4)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	g := m.Gram()
+	g2, err := Mul(m.T(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if !almostEq(g.Data[i], g2.Data[i], 1e-10) {
+			t.Fatalf("Gram mismatch at %d: %v vs %v", i, g.Data[i], g2.Data[i])
+		}
+	}
+}
+
+func TestDotAndNorms(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("Dot failed")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Error("Norm2 failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dot length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestCosineSim(t *testing.T) {
+	if !almostEq(CosineSim([]float64{1, 0}, []float64{1, 0}), 1, 1e-12) {
+		t.Error("identical vectors should have similarity 1")
+	}
+	if !almostEq(CosineSim([]float64{1, 0}, []float64{0, 1}), 0, 1e-12) {
+		t.Error("orthogonal vectors should have similarity 0")
+	}
+	if !almostEq(CosineSim([]float64{1, 0}, []float64{-2, 0}), -1, 1e-12) {
+		t.Error("opposite vectors should have similarity -1")
+	}
+	if CosineSim([]float64{0, 0}, []float64{1, 1}) != 0 {
+		t.Error("zero vector should give similarity 0")
+	}
+}
+
+func TestScaleAdd(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}})
+	m.Scale(3)
+	if m.At(0, 1) != 6 {
+		t.Error("Scale failed")
+	}
+	b, _ := FromRows([][]float64{{1, 1}})
+	if err := m.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 4 {
+		t.Error("Add failed")
+	}
+	if err := m.Add(NewMatrix(2, 2)); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestSingularValuesKnown(t *testing.T) {
+	// diag(3, 2) embedded in a rectangular matrix.
+	m, _ := FromRows([][]float64{
+		{3, 0},
+		{0, 2},
+		{0, 0},
+	})
+	sv := SingularValues(m)
+	if len(sv) != 2 {
+		t.Fatalf("len(sv) = %d, want 2", len(sv))
+	}
+	if !almostEq(sv[0], 3, 1e-9) || !almostEq(sv[1], 2, 1e-9) {
+		t.Errorf("sv = %v, want [3 2]", sv)
+	}
+}
+
+func TestSingularValuesWideMatrix(t *testing.T) {
+	// Wide matrices are transposed internally; singular values must agree.
+	m, _ := FromRows([][]float64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+	})
+	svWide := SingularValues(m)
+	svTall := SingularValues(m.T())
+	if len(svWide) != 2 || len(svTall) != 2 {
+		t.Fatalf("unexpected lengths %d, %d", len(svWide), len(svTall))
+	}
+	for i := range svWide {
+		if !almostEq(svWide[i], svTall[i], 1e-9) {
+			t.Errorf("sv[%d]: wide %v != tall %v", i, svWide[i], svTall[i])
+		}
+	}
+}
+
+func TestSVDFrobeniusIdentity(t *testing.T) {
+	// ||A||_F^2 == sum of squared singular values.
+	rng := rand.New(rand.NewSource(7))
+	m := NewMatrix(12, 5)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	sv := SingularValues(m)
+	var ss float64
+	for _, s := range sv {
+		ss += s * s
+	}
+	fr := m.FrobeniusNorm()
+	if !almostEq(ss, fr*fr, 1e-8) {
+		t.Errorf("sum sv^2 = %v, ||A||_F^2 = %v", ss, fr*fr)
+	}
+}
+
+func TestRank(t *testing.T) {
+	// Rank-1 matrix: outer product.
+	m := NewMatrix(4, 4)
+	u := []float64{1, 2, 3, 4}
+	v := []float64{2, -1, 0.5, 1}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, u[i]*v[j])
+		}
+	}
+	if r := Rank(m, 0); r != 1 {
+		t.Errorf("rank = %d, want 1", r)
+	}
+	// Identity has full rank.
+	id := NewMatrix(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	if r := Rank(id, 0); r != 5 {
+		t.Errorf("rank = %d, want 5", r)
+	}
+	if r := Rank(NewMatrix(3, 3), 0); r != 0 {
+		t.Errorf("rank of zero matrix = %d, want 0", r)
+	}
+}
+
+func TestSymEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	ev := SymEigen(m)
+	if !almostEq(ev[0], 3, 1e-9) || !almostEq(ev[1], 1, 1e-9) {
+		t.Errorf("eigenvalues = %v, want [3 1]", ev)
+	}
+}
+
+func TestSymEigenTraceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 8
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	var trace float64
+	for i := 0; i < n; i++ {
+		trace += m.At(i, i)
+	}
+	ev := SymEigen(m)
+	var sum float64
+	for _, e := range ev {
+		sum += e
+	}
+	if !almostEq(trace, sum, 1e-8) {
+		t.Errorf("trace %v != eigenvalue sum %v", trace, sum)
+	}
+}
+
+func TestEigenMatchesSingularValuesOnGram(t *testing.T) {
+	// For Gram matrix G = AᵀA, eigenvalues are squared singular values of A.
+	rng := rand.New(rand.NewSource(11))
+	a := NewMatrix(10, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	sv := SingularValues(a)
+	ev := SymEigen(a.Gram())
+	for i := range sv {
+		if !almostEq(sv[i]*sv[i], ev[i], 1e-7) {
+			t.Errorf("sv[%d]^2 = %v != eigen %v", i, sv[i]*sv[i], ev[i])
+		}
+	}
+}
+
+// Property: cosine similarity is always in [-1, 1].
+func TestCosineBoundsQuick(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		av, bv := a[:], b[:]
+		for i := range av {
+			if math.IsNaN(av[i]) || math.IsInf(av[i], 0) {
+				av[i] = 0
+			}
+			if math.IsNaN(bv[i]) || math.IsInf(bv[i], 0) {
+				bv[i] = 0
+			}
+			// Clamp magnitudes so the dot product cannot overflow.
+			av[i] = math.Mod(av[i], 1e6)
+			bv[i] = math.Mod(bv[i], 1e6)
+		}
+		c := CosineSim(av, bv)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: singular values are non-negative and sorted descending.
+func TestSingularValuesSortedQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		rows := 2 + rng.Intn(8)
+		cols := 2 + rng.Intn(8)
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		sv := SingularValues(m)
+		for i := range sv {
+			if sv[i] < 0 {
+				t.Fatalf("negative singular value %v", sv[i])
+			}
+			if i > 0 && sv[i] > sv[i-1]+1e-12 {
+				t.Fatalf("unsorted singular values %v", sv)
+			}
+		}
+	}
+}

@@ -1,0 +1,410 @@
+// Package nn implements the DNN baseline of Table I: a fully connected
+// network with the paper's architecture — hidden layers [2048, 1024, 512],
+// ReLU activations, dropout, softmax cross-entropy loss, learning rate
+// 0.001 — trained with mini-batch Adam (SGD available). The paper's input
+// is the same windowed statistical feature vector the other models see, so
+// the "convolutional" front-end degenerates to dense layers.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Optimizer selects the weight-update rule.
+type Optimizer int
+
+const (
+	// Adam with standard beta1/beta2.
+	Adam Optimizer = iota
+	// SGD with constant learning rate.
+	SGD
+)
+
+// Config controls network construction and training.
+type Config struct {
+	Hidden    []int   // hidden layer widths (paper: 2048, 1024, 512)
+	Classes   int     // output width
+	LR        float64 // paper: 0.001
+	Dropout   float64 // drop probability on hidden activations
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	Seed      int64
+}
+
+// DefaultConfig returns the paper's DNN hyperparameters. Training cost in
+// pure Go is substantial at full width; benchmarks that only need the
+// architecture's relative behaviour may shrink Hidden proportionally.
+func DefaultConfig(classes int) Config {
+	return Config{
+		Hidden:    []int{2048, 1024, 512},
+		Classes:   classes,
+		LR:        0.001,
+		Dropout:   0.2,
+		Epochs:    10,
+		BatchSize: 32,
+		Optimizer: Adam,
+		Seed:      1,
+	}
+}
+
+// dense is one fully connected layer with Adam moment buffers.
+type dense struct {
+	in, out int
+	w       []float64 // out x in
+	b       []float64
+	// Adam state
+	mw, vw []float64
+	mb, vb []float64
+}
+
+func newDense(in, out int, rng *rand.Rand) *dense {
+	d := &dense{
+		in: in, out: out,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		mw: make([]float64, in*out),
+		vw: make([]float64, in*out),
+		mb: make([]float64, out),
+		vb: make([]float64, out),
+	}
+	// He initialization for ReLU stacks.
+	scale := math.Sqrt(2 / float64(in))
+	for i := range d.w {
+		d.w[i] = rng.NormFloat64() * scale
+	}
+	return d
+}
+
+func (d *dense) forward(x, out []float64) {
+	for o := 0; o < d.out; o++ {
+		row := d.w[o*d.in : (o+1)*d.in]
+		s := d.b[o]
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		out[o] = s
+	}
+}
+
+// Model is a trained multilayer perceptron.
+type Model struct {
+	Cfg      Config
+	Features int
+	layers   []*dense
+	step     int
+}
+
+// New builds an untrained network for the given input width.
+func New(features int, cfg Config) (*Model, error) {
+	if features <= 0 {
+		return nil, fmt.Errorf("nn: invalid feature count %d", features)
+	}
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("nn: need >= 2 classes, got %d", cfg.Classes)
+	}
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("nn: learning rate must be positive, got %v", cfg.LR)
+	}
+	if cfg.Dropout < 0 || cfg.Dropout >= 1 {
+		return nil, fmt.Errorf("nn: dropout %v outside [0,1)", cfg.Dropout)
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 32
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg, Features: features}
+	widths := append([]int{features}, cfg.Hidden...)
+	widths = append(widths, cfg.Classes)
+	for i := 0; i+1 < len(widths); i++ {
+		if widths[i+1] <= 0 {
+			return nil, fmt.Errorf("nn: invalid layer width %d", widths[i+1])
+		}
+		m.layers = append(m.layers, newDense(widths[i], widths[i+1], rng))
+	}
+	return m, nil
+}
+
+// Fit trains the network with softmax cross-entropy.
+func (m *Model) Fit(X [][]float64, y []int) error {
+	n := len(X)
+	if n == 0 {
+		return fmt.Errorf("nn: empty training set")
+	}
+	if len(y) != n {
+		return fmt.Errorf("nn: %d rows vs %d labels", n, len(y))
+	}
+	for i, l := range y {
+		if l < 0 || l >= m.Cfg.Classes {
+			return fmt.Errorf("nn: label %d at %d outside [0,%d)", l, i, m.Cfg.Classes)
+		}
+		if len(X[i]) != m.Features {
+			return fmt.Errorf("nn: row %d has %d features, want %d", i, len(X[i]), m.Features)
+		}
+	}
+	rng := rand.New(rand.NewSource(m.Cfg.Seed + 31337))
+	L := len(m.layers)
+	// Per-layer activation and delta buffers.
+	acts := make([][]float64, L+1)
+	deltas := make([][]float64, L)
+	masks := make([][]bool, L)
+	for l, d := range m.layers {
+		acts[l+1] = make([]float64, d.out)
+		deltas[l] = make([]float64, d.out)
+		masks[l] = make([]bool, d.out)
+	}
+	// Gradient accumulators per batch.
+	gw := make([][]float64, L)
+	gb := make([][]float64, L)
+	for l, d := range m.layers {
+		gw[l] = make([]float64, len(d.w))
+		gb[l] = make([]float64, len(d.b))
+	}
+
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		order := rng.Perm(n)
+		for start := 0; start < n; start += m.Cfg.BatchSize {
+			end := start + m.Cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := order[start:end]
+			for l := range gw {
+				for i := range gw[l] {
+					gw[l][i] = 0
+				}
+				for i := range gb[l] {
+					gb[l][i] = 0
+				}
+			}
+			for _, i := range batch {
+				m.forwardTrain(X[i], acts, masks, rng)
+				// Softmax + cross-entropy gradient at the output.
+				out := acts[L]
+				probs := make([]float64, len(out))
+				softmax(out, probs)
+				for k := range probs {
+					deltas[L-1][k] = probs[k]
+				}
+				deltas[L-1][y[i]] -= 1
+				// Backprop through hidden layers.
+				for l := L - 1; l >= 0; l-- {
+					d := m.layers[l]
+					in := acts[l]
+					for o := 0; o < d.out; o++ {
+						g := deltas[l][o]
+						if g == 0 {
+							continue
+						}
+						row := gw[l][o*d.in : (o+1)*d.in]
+						for j, xv := range in {
+							row[j] += g * xv
+						}
+						gb[l][o] += g
+					}
+					if l > 0 {
+						prev := deltas[l-1]
+						for j := range prev {
+							prev[j] = 0
+						}
+						for o := 0; o < d.out; o++ {
+							g := deltas[l][o]
+							if g == 0 {
+								continue
+							}
+							row := d.w[o*d.in : (o+1)*d.in]
+							for j := range prev {
+								prev[j] += g * row[j]
+							}
+						}
+						// ReLU + inverted-dropout derivative: dropped
+						// units pass no gradient, kept units carry the
+						// same 1/keep scale as the forward pass.
+						keep := 1 - m.Cfg.Dropout
+						for j := range prev {
+							if acts[l][j] <= 0 || !masks[l-1][j] {
+								prev[j] = 0
+							} else if m.Cfg.Dropout > 0 {
+								prev[j] /= keep
+							}
+						}
+					}
+				}
+			}
+			m.step++
+			m.applyGradients(gw, gb, float64(len(batch)))
+		}
+	}
+	return nil
+}
+
+// forwardTrain runs a forward pass with ReLU + inverted dropout on hidden
+// layers, recording activations and dropout masks for backprop.
+func (m *Model) forwardTrain(x []float64, acts [][]float64, masks [][]bool, rng *rand.Rand) {
+	acts[0] = x
+	L := len(m.layers)
+	keep := 1 - m.Cfg.Dropout
+	for l, d := range m.layers {
+		d.forward(acts[l], acts[l+1])
+		if l == L-1 {
+			break // output layer: linear (softmax applied by caller)
+		}
+		a := acts[l+1]
+		for j := range a {
+			if a[j] < 0 {
+				a[j] = 0
+			}
+			masks[l][j] = true
+			if m.Cfg.Dropout > 0 {
+				if rng.Float64() < m.Cfg.Dropout {
+					a[j] = 0
+					masks[l][j] = false
+				} else {
+					a[j] /= keep
+				}
+			}
+		}
+	}
+}
+
+func (m *Model) applyGradients(gw, gb [][]float64, batchSize float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	lr := m.Cfg.LR
+	t := float64(m.step)
+	for l, d := range m.layers {
+		switch m.Cfg.Optimizer {
+		case SGD:
+			for i := range d.w {
+				d.w[i] -= lr * gw[l][i] / batchSize
+			}
+			for i := range d.b {
+				d.b[i] -= lr * gb[l][i] / batchSize
+			}
+		default: // Adam
+			bc1 := 1 - math.Pow(beta1, t)
+			bc2 := 1 - math.Pow(beta2, t)
+			for i := range d.w {
+				g := gw[l][i] / batchSize
+				d.mw[i] = beta1*d.mw[i] + (1-beta1)*g
+				d.vw[i] = beta2*d.vw[i] + (1-beta2)*g*g
+				d.w[i] -= lr * (d.mw[i] / bc1) / (math.Sqrt(d.vw[i]/bc2) + eps)
+			}
+			for i := range d.b {
+				g := gb[l][i] / batchSize
+				d.mb[i] = beta1*d.mb[i] + (1-beta1)*g
+				d.vb[i] = beta2*d.vb[i] + (1-beta2)*g*g
+				d.b[i] -= lr * (d.mb[i] / bc1) / (math.Sqrt(d.vb[i]/bc2) + eps)
+			}
+		}
+	}
+}
+
+func softmax(f, out []float64) {
+	maxV := f[0]
+	for _, v := range f[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range f {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// Logits runs an inference forward pass (no dropout) for one row.
+func (m *Model) Logits(x []float64) ([]float64, error) {
+	if len(x) != m.Features {
+		return nil, fmt.Errorf("nn: row has %d features, want %d", len(x), m.Features)
+	}
+	cur := x
+	for l, d := range m.layers {
+		next := make([]float64, d.out)
+		d.forward(cur, next)
+		if l < len(m.layers)-1 {
+			for j := range next {
+				if next[j] < 0 {
+					next[j] = 0
+				}
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Predict returns the argmax class for one row.
+func (m *Model) Predict(x []float64) (int, error) {
+	logits, err := m.Logits(x)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for k := 1; k < len(logits); k++ {
+		if logits[k] > logits[best] {
+			best = k
+		}
+	}
+	return best, nil
+}
+
+// PredictBatch classifies each row of X.
+func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
+	out := make([]int, len(X))
+	for i, x := range X {
+		p, err := m.Predict(x)
+		if err != nil {
+			return nil, fmt.Errorf("nn: row %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Evaluate returns plain accuracy on a labeled set.
+func (m *Model) Evaluate(X [][]float64, y []int) (float64, error) {
+	if len(X) != len(y) || len(y) == 0 {
+		return 0, fmt.Errorf("nn: bad evaluation set")
+	}
+	pred, err := m.PredictBatch(X)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y)), nil
+}
+
+// Weights exposes the flat weight slices of every layer (fault injection
+// flips bits here).
+func (m *Model) Weights() [][]float64 {
+	out := make([][]float64, len(m.layers))
+	for i, d := range m.layers {
+		out[i] = d.w
+	}
+	return out
+}
+
+// Clone deep-copies the model's parameters (not the Adam state).
+func (m *Model) Clone() *Model {
+	out := &Model{Cfg: m.Cfg, Features: m.Features, step: m.step}
+	for _, d := range m.layers {
+		nd := &dense{in: d.in, out: d.out,
+			w: append([]float64(nil), d.w...), b: append([]float64(nil), d.b...),
+			mw: make([]float64, len(d.mw)), vw: make([]float64, len(d.vw)),
+			mb: make([]float64, len(d.mb)), vb: make([]float64, len(d.vb)),
+		}
+		out.layers = append(out.layers, nd)
+	}
+	return out
+}

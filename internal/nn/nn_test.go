@@ -1,0 +1,231 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(n int, noise float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % 3
+		y[i] = c
+		X[i] = make([]float64, 6)
+		for j := range X[i] {
+			X[i][j] = noise * rng.NormFloat64()
+		}
+		X[i][c] += 2
+	}
+	return X, y
+}
+
+// smallConfig keeps tests fast while exercising the full code path.
+func smallConfig() Config {
+	return Config{
+		Hidden:    []int{32, 16},
+		Classes:   3,
+		LR:        0.003,
+		Dropout:   0.1,
+		Epochs:    15,
+		BatchSize: 16,
+		Optimizer: Adam,
+		Seed:      1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, smallConfig()); err == nil {
+		t.Error("expected feature error")
+	}
+	bad := smallConfig()
+	bad.Classes = 1
+	if _, err := New(4, bad); err == nil {
+		t.Error("expected classes error")
+	}
+	bad = smallConfig()
+	bad.LR = 0
+	if _, err := New(4, bad); err == nil {
+		t.Error("expected lr error")
+	}
+	bad = smallConfig()
+	bad.Dropout = 1
+	if _, err := New(4, bad); err == nil {
+		t.Error("expected dropout error")
+	}
+	bad = smallConfig()
+	bad.Hidden = []int{0}
+	if _, err := New(4, bad); err == nil {
+		t.Error("expected layer-width error")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	m, err := New(6, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("expected empty error")
+	}
+	if err := m.Fit([][]float64{{1, 2, 3, 4, 5, 6}}, []int{0, 1}); err == nil {
+		t.Error("expected mismatch error")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0}); err == nil {
+		t.Error("expected feature-length error")
+	}
+	if err := m.Fit([][]float64{{1, 2, 3, 4, 5, 6}}, []int{9}); err == nil {
+		t.Error("expected label error")
+	}
+}
+
+func TestMLPLearnsBlobs(t *testing.T) {
+	X, y := blobs(300, 0.5, 2)
+	m, err := New(6, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X[:200], y[:200]); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Evaluate(X[200:], y[200:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("mlp accuracy %v, want >= 0.9", acc)
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	// XOR needs the hidden nonlinearity — a linear model cannot solve it.
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []int{0, 1, 1, 0}
+	// Replicate to form a training set.
+	var bx [][]float64
+	var by []int
+	for i := 0; i < 50; i++ {
+		bx = append(bx, X...)
+		by = append(by, y...)
+	}
+	cfg := Config{Hidden: []int{16}, Classes: 2, LR: 0.01, Epochs: 60, BatchSize: 8, Optimizer: Adam, Seed: 3}
+	m, err := New(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(bx, by); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		p, err := m.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != y[i] {
+			t.Errorf("XOR(%v) = %d, want %d", x, p, y[i])
+		}
+	}
+}
+
+func TestSGDOptimizer(t *testing.T) {
+	X, y := blobs(240, 0.4, 4)
+	cfg := smallConfig()
+	cfg.Optimizer = SGD
+	cfg.LR = 0.05
+	cfg.Dropout = 0
+	cfg.Epochs = 30
+	m, err := New(6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := m.Evaluate(X, y)
+	if acc < 0.85 {
+		t.Errorf("sgd accuracy %v, want >= 0.85", acc)
+	}
+}
+
+func TestLogitsFinite(t *testing.T) {
+	X, y := blobs(60, 0.4, 5)
+	m, err := New(6, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	l, err := m.Logits(X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 3 {
+		t.Fatalf("logits len = %d", len(l))
+	}
+	for _, v := range l {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite logits")
+		}
+	}
+	if _, err := m.Logits([]float64{1}); err == nil {
+		t.Error("expected feature-length error")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	X, y := blobs(90, 0.4, 6)
+	run := func() []int {
+		m, err := New(6, smallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		p, _ := m.PredictBatch(X)
+		return p
+	}
+	p1, p2 := run(), run()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed must give identical networks")
+		}
+	}
+}
+
+func TestCloneAndWeights(t *testing.T) {
+	m, err := New(6, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Weights()
+	if len(w) != 3 { // 2 hidden + output
+		t.Fatalf("layers = %d, want 3", len(w))
+	}
+	cl := m.Clone()
+	cl.Weights()[0][0] += 100
+	if m.Weights()[0][0] == cl.Weights()[0][0] {
+		t.Error("clone shares weight storage")
+	}
+}
+
+func TestDropoutInferenceIsDeterministic(t *testing.T) {
+	X, y := blobs(60, 0.4, 7)
+	cfg := smallConfig()
+	cfg.Dropout = 0.5
+	m, err := New(6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := m.Predict(X[0])
+	p2, _ := m.Predict(X[0])
+	if p1 != p2 {
+		t.Error("inference must not apply dropout")
+	}
+}

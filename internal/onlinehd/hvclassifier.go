@@ -1,0 +1,215 @@
+// Package onlinehd implements the OnlineHD classifier (Hernandez-Cano et
+// al., DATE 2021) the paper uses both as its strongest HDC baseline and as
+// the weak learner inside BoostHD. Training is a single adaptive pass plus
+// optional refinement epochs: on a misprediction the true class
+// hypervector is pulled toward the sample and the wrongly winning class is
+// pushed away, each scaled by how confident the model already was.
+package onlinehd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"boosthd/internal/ensemble"
+	"boosthd/internal/hdc"
+)
+
+// HVClassifier learns class hypervectors over pre-encoded inputs. BoostHD
+// trains one HVClassifier per dimension partition, feeding each a slice of
+// the shared encoding, so this layer never touches raw features.
+type HVClassifier struct {
+	Dim     int
+	Classes int
+	LR      float64
+	Class   []hdc.Vector // Classes hypervectors of length Dim
+}
+
+// NewHVClassifier allocates a zeroed classifier.
+func NewHVClassifier(dim, classes int, lr float64) (*HVClassifier, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("onlinehd: invalid dimension %d", dim)
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("onlinehd: need >= 2 classes, got %d", classes)
+	}
+	if lr <= 0 {
+		return nil, fmt.Errorf("onlinehd: learning rate must be positive, got %v", lr)
+	}
+	c := &HVClassifier{Dim: dim, Classes: classes, LR: lr, Class: make([]hdc.Vector, classes)}
+	for i := range c.Class {
+		c.Class[i] = hdc.NewVector(dim)
+	}
+	return c, nil
+}
+
+// Scores returns the cosine similarity of h to every class hypervector.
+// The query norm is computed once and shared across classes.
+func (c *HVClassifier) Scores(h hdc.Vector) []float64 {
+	s := make([]float64, c.Classes)
+	hn := hdc.Norm(h)
+	if hn == 0 {
+		return s
+	}
+	for l, cv := range c.Class {
+		cn := hdc.Norm(cv)
+		if cn == 0 {
+			continue
+		}
+		s[l] = hdc.Dot(h, cv) / (hn * cn)
+	}
+	return s
+}
+
+// Predict returns the most similar class for h.
+func (c *HVClassifier) Predict(h hdc.Vector) int {
+	s := c.Scores(h)
+	best := 0
+	for l := 1; l < c.Classes; l++ {
+		if s[l] > s[best] {
+			best = l
+		}
+	}
+	return best
+}
+
+// FitOptions tunes a training run over encoded samples.
+type FitOptions struct {
+	Epochs    int        // adaptive passes over the data (>= 1)
+	Weights   []float64  // optional per-sample weights (boosting)
+	Bootstrap bool       // resample each epoch proportionally to weights
+	Rng       *rand.Rand // required when Bootstrap is set
+}
+
+// Fit trains the classifier on encoded hypervectors hs with labels y: an
+// initial one-shot bundling pass (epoch 0) followed by OnlineHD adaptive
+// refinement passes. With weights, each sample's update is scaled by
+// n*w_i (so uniform weights reproduce the unweighted pass); with
+// Bootstrap, each epoch instead visits a weighted resample of the data,
+// the configuration the paper uses ("bootstrap enabled").
+func (c *HVClassifier) Fit(hs []hdc.Vector, y []int, opt FitOptions) error {
+	n := len(hs)
+	if n == 0 {
+		return fmt.Errorf("onlinehd: empty training set")
+	}
+	if len(y) != n {
+		return fmt.Errorf("onlinehd: %d samples vs %d labels", n, len(y))
+	}
+	for i, h := range hs {
+		if len(h) != c.Dim {
+			return fmt.Errorf("onlinehd: sample %d has dim %d, want %d", i, len(h), c.Dim)
+		}
+		if y[i] < 0 || y[i] >= c.Classes {
+			return fmt.Errorf("onlinehd: label %d at %d outside [0,%d)", y[i], i, c.Classes)
+		}
+	}
+	if opt.Epochs < 1 {
+		opt.Epochs = 1
+	}
+	if opt.Weights != nil && len(opt.Weights) != n {
+		return fmt.Errorf("onlinehd: %d weights for %d samples", len(opt.Weights), n)
+	}
+	if opt.Bootstrap && opt.Rng == nil {
+		return fmt.Errorf("onlinehd: bootstrap requires an rng")
+	}
+
+	// Pass 0 is the novelty-weighted single pass (onePass); the remaining
+	// epochs run the adaptive similarity-guided refinement. Starting
+	// adaptive updates from zeroed class vectors would leave the
+	// tie-broken winning class untrainable, so the one-pass seeds the
+	// space first.
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		if opt.Bootstrap {
+			w := opt.Weights
+			if w == nil {
+				w = make([]float64, n)
+				for i := range w {
+					w[i] = 1
+				}
+			}
+			idx, err := ensemble.WeightedSample(w, n, opt.Rng.Float64)
+			if err != nil {
+				return fmt.Errorf("onlinehd: %w", err)
+			}
+			for _, i := range idx {
+				if epoch == 0 {
+					c.onePass(hs[i], y[i], 1)
+				} else {
+					c.update(hs[i], y[i], 1)
+				}
+			}
+			continue
+		}
+		for i := range hs {
+			scale := 1.0
+			if opt.Weights != nil {
+				scale = float64(n) * opt.Weights[i]
+			}
+			if scale == 0 {
+				continue
+			}
+			if epoch == 0 {
+				c.onePass(hs[i], y[i], scale)
+			} else {
+				c.update(hs[i], y[i], scale)
+			}
+		}
+	}
+	return nil
+}
+
+// update applies the OnlineHD adaptive rule for one sample: nothing when
+// the prediction is already correct; otherwise pull the true class toward
+// h by lr*(1-delta_true) and push the mispredicted class away by
+// lr*(1-delta_pred), both scaled by the sample weight.
+func (c *HVClassifier) update(h hdc.Vector, label int, scale float64) {
+	scores := c.Scores(h)
+	pred := 0
+	for l := 1; l < c.Classes; l++ {
+		if scores[l] > scores[pred] {
+			pred = l
+		}
+	}
+	if pred == label {
+		return
+	}
+	c.Class[label].BundleScaled(h, c.LR*scale*(1-scores[label]))
+	c.Class[pred].BundleScaled(h, -c.LR*scale*(1-scores[pred]))
+}
+
+// onePass applies the initial single-pass rule: every sample is added to
+// its class proportionally to its novelty (1 - delta_true), and on a
+// misprediction the winning class is pushed away. Unlike the adaptive
+// rule it also reinforces correctly classified samples, which seeds the
+// class geometry the refinement epochs then sharpen.
+func (c *HVClassifier) onePass(h hdc.Vector, label int, scale float64) {
+	scores := c.Scores(h)
+	pred := 0
+	for l := 1; l < c.Classes; l++ {
+		if scores[l] > scores[pred] {
+			pred = l
+		}
+	}
+	c.Class[label].BundleScaled(h, c.LR*scale*(1-scores[label]))
+	if pred != label {
+		c.Class[pred].BundleScaled(h, -c.LR*scale*(1-scores[pred]))
+	}
+}
+
+// PredictBatch classifies a batch of encoded samples sequentially.
+func (c *HVClassifier) PredictBatch(hs []hdc.Vector) []int {
+	out := make([]int, len(hs))
+	for i, h := range hs {
+		out[i] = c.Predict(h)
+	}
+	return out
+}
+
+// Clone returns a deep copy (used by fault-injection experiments so trials
+// never corrupt the trained model).
+func (c *HVClassifier) Clone() *HVClassifier {
+	out := &HVClassifier{Dim: c.Dim, Classes: c.Classes, LR: c.LR, Class: make([]hdc.Vector, c.Classes)}
+	for i, cv := range c.Class {
+		out.Class[i] = cv.Clone()
+	}
+	return out
+}

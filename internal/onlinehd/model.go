@@ -1,0 +1,174 @@
+package onlinehd
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"boosthd/internal/encoding"
+	"boosthd/internal/hdc"
+)
+
+// Config mirrors the paper's Section IV OnlineHD setup: nonlinear Gaussian
+// encoding, learning rate 0.035, bootstrap enabled, dimensional adjustment
+// via Dim.
+type Config struct {
+	Dim       int     // hyperspace dimensionality D
+	Classes   int     // number of labels
+	LR        float64 // adaptive learning rate (paper: 0.035)
+	Epochs    int     // refinement passes (>= 1)
+	Bootstrap bool    // weighted resampling per epoch
+	Encoder   encoding.Kind
+	Gamma     float64 // kernel bandwidth; <= 0 selects the median heuristic
+	Seed      int64
+}
+
+// DefaultConfig returns the paper's OnlineHD hyperparameters for a given
+// dimension and class count.
+func DefaultConfig(dim, classes int) Config {
+	return Config{
+		Dim:       dim,
+		Classes:   classes,
+		LR:        0.035,
+		Epochs:    20,
+		Bootstrap: true,
+		Encoder:   encoding.Nonlinear,
+		Seed:      1,
+	}
+}
+
+// Model is a standalone OnlineHD classifier: a nonlinear encoder plus
+// class hypervectors.
+type Model struct {
+	Cfg Config
+	Enc *encoding.Encoder
+	HV  *HVClassifier
+}
+
+// Train encodes X and fits an OnlineHD model. Optional sample weights
+// drive boosting integration; nil means uniform.
+func Train(X [][]float64, y []int, weights []float64, cfg Config) (*Model, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("onlinehd: empty training set")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("onlinehd: %d rows vs %d labels", len(X), len(y))
+	}
+	gamma := cfg.Gamma
+	if gamma <= 0 {
+		gamma = encoding.GammaHeuristic(X, 0.5, rand.New(rand.NewSource(cfg.Seed+55)))
+	}
+	enc, err := encoding.NewWithGamma(len(X[0]), cfg.Dim, cfg.Encoder, gamma, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("onlinehd: %w", err)
+	}
+	hv, err := NewHVClassifier(cfg.Dim, cfg.Classes, cfg.LR)
+	if err != nil {
+		return nil, err
+	}
+	hs, err := enc.EncodeBatch(X)
+	if err != nil {
+		return nil, fmt.Errorf("onlinehd: %w", err)
+	}
+	opt := FitOptions{Epochs: cfg.Epochs, Weights: weights, Bootstrap: cfg.Bootstrap}
+	if cfg.Bootstrap {
+		opt.Rng = rand.New(rand.NewSource(cfg.Seed + 101))
+	}
+	if err := hv.Fit(hs, y, opt); err != nil {
+		return nil, err
+	}
+	return &Model{Cfg: cfg, Enc: enc, HV: hv}, nil
+}
+
+// Predict classifies one raw feature vector.
+func (m *Model) Predict(x []float64) (int, error) {
+	h, err := m.Enc.Encode(x)
+	if err != nil {
+		return 0, err
+	}
+	return m.HV.Predict(h), nil
+}
+
+// Scores returns per-class cosine similarities for one raw feature vector.
+func (m *Model) Scores(x []float64) ([]float64, error) {
+	h, err := m.Enc.Encode(x)
+	if err != nil {
+		return nil, err
+	}
+	return m.HV.Scores(h), nil
+}
+
+// PredictBatch classifies rows in parallel across GOMAXPROCS workers.
+func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
+	out := make([]int, len(X))
+	if len(X) == 0 {
+		return out, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(X) {
+		workers = len(X)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		next  int
+		fatal error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if fatal != nil || next >= len(X) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				p, err := m.Predict(X[i])
+				if err != nil {
+					mu.Lock()
+					if fatal == nil {
+						fatal = fmt.Errorf("onlinehd: row %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+	if fatal != nil {
+		return nil, fatal
+	}
+	return out, nil
+}
+
+// Evaluate returns plain accuracy on a labeled set.
+func (m *Model) Evaluate(X [][]float64, y []int) (float64, error) {
+	pred, err := m.PredictBatch(X)
+	if err != nil {
+		return 0, err
+	}
+	if len(pred) != len(y) {
+		return 0, fmt.Errorf("onlinehd: %d predictions vs %d labels", len(pred), len(y))
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	if len(y) == 0 {
+		return 0, fmt.Errorf("onlinehd: empty evaluation set")
+	}
+	return float64(correct) / float64(len(y)), nil
+}
+
+// ClassVectors exposes the trained class hypervectors (fault injection and
+// span-utilization analysis mutate or inspect them).
+func (m *Model) ClassVectors() []hdc.Vector { return m.HV.Class }

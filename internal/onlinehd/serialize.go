@@ -1,0 +1,83 @@
+package onlinehd
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"boosthd/internal/encoding"
+	"boosthd/internal/hdc"
+)
+
+// modelWire is the gob wire format of a trained OnlineHD model. The
+// encoder is reconstructed from its configuration (it is deterministic in
+// the seed), so only the learned class hypervectors travel.
+type modelWire struct {
+	Cfg   Config
+	InDim int
+	Gamma float64
+	Class []hdc.Vector
+}
+
+// Save serializes the model to w in gob format.
+func (m *Model) Save(w io.Writer) error {
+	wire := modelWire{
+		Cfg:   m.Cfg,
+		InDim: m.Enc.InDim,
+		Gamma: m.Enc.Gamma,
+		Class: m.HV.Class,
+	}
+	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
+		return fmt.Errorf("onlinehd: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var wire modelWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("onlinehd: load: %w", err)
+	}
+	enc, err := encoding.NewWithGamma(wire.InDim, wire.Cfg.Dim, wire.Cfg.Encoder, wire.Gamma, wire.Cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("onlinehd: load: %w", err)
+	}
+	hv, err := NewHVClassifier(wire.Cfg.Dim, wire.Cfg.Classes, wire.Cfg.LR)
+	if err != nil {
+		return nil, fmt.Errorf("onlinehd: load: %w", err)
+	}
+	if len(wire.Class) != wire.Cfg.Classes {
+		return nil, fmt.Errorf("onlinehd: load: %d class vectors for %d classes",
+			len(wire.Class), wire.Cfg.Classes)
+	}
+	for i, cv := range wire.Class {
+		if len(cv) != wire.Cfg.Dim {
+			return nil, fmt.Errorf("onlinehd: load: class %d has dim %d, want %d",
+				i, len(cv), wire.Cfg.Dim)
+		}
+	}
+	hv.Class = wire.Class
+	return &Model{Cfg: wire.Cfg, Enc: enc, HV: hv}, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's contents.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	loaded, err := Load(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	*m = *loaded
+	return nil
+}

@@ -1,0 +1,69 @@
+package onlinehd
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	X, y := blobs(90, 5)
+	cfg := DefaultConfig(512, 3)
+	cfg.Epochs = 3
+	m, err := Train(X, y, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := m.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if orig[i] != got[i] {
+			t.Fatalf("prediction %d differs after round trip", i)
+		}
+	}
+}
+
+func TestBinaryMarshalRoundTrip(t *testing.T) {
+	X, y := blobs(60, 6)
+	cfg := DefaultConfig(256, 3)
+	cfg.Epochs = 2
+	m, err := Train(X, y, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Model
+	if err := loaded.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := m.Predict(X[0])
+	p2, err := loaded.Predict(X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("predictions differ after binary round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("expected decode error")
+	}
+}
