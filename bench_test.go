@@ -155,3 +155,17 @@ func BenchmarkFigure8(b *testing.B) {
 		printOnce(b, "fig8", t)
 	}
 }
+
+// BenchmarkInferBackends renders the serving-engine ablation: float
+// cosine vs packed-binary Hamming accuracy, end-to-end and scoring-stage
+// latency, and class-memory footprint.
+func BenchmarkInferBackends(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunInferBench(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, "infer", t)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"boosthd/internal/dataset"
 	"boosthd/internal/encoding"
 	"boosthd/internal/faults"
+	"boosthd/internal/infer"
 	"boosthd/internal/onlinehd"
 	"boosthd/internal/signal"
 	"boosthd/internal/synth"
@@ -132,8 +133,39 @@ func FitNormalizer(rows [][]float64, kind signal.NormKind) (*Normalizer, error) 
 }
 
 // FaultInjector flips stored model bits with a per-bit probability — the
-// paper's Figure 8 reliability protocol.
+// paper's Figure 8 reliability protocol. Apply it to a trained ensemble
+// with Model.InjectClassFaults, which also invalidates the scoring
+// engine's cached norms.
 type FaultInjector = faults.Injector
 
 // NewFaultInjector builds a bit-flip injector with probability pb.
 var NewFaultInjector = faults.NewInjector
+
+// Engine serves predictions from a trained ensemble through a selected
+// backend: float cosine scoring, or — after quantization — packed-binary
+// Hamming scoring over bit-vector class memories.
+type Engine = infer.Engine
+
+// BinaryModel is the packed-binary deployment form of a trained ensemble:
+// thresholded bit-vector class memories scored by XOR/popcount Hamming
+// similarity, the representation wearable-class hardware runs natively.
+type BinaryModel = infer.BinaryModel
+
+// InferBackend selects an Engine's model representation.
+type InferBackend = infer.Backend
+
+// Engine backends.
+const (
+	FloatBackend        = infer.Float
+	PackedBinaryBackend = infer.PackedBinary
+)
+
+// NewEngine returns a float-backend inference engine over a trained model.
+func NewEngine(m *Model) *Engine { return infer.NewEngine(m) }
+
+// NewBinaryEngine quantizes a trained model and returns a packed-binary
+// inference engine.
+func NewBinaryEngine(m *Model) (*Engine, error) { return infer.NewBinaryEngine(m) }
+
+// Quantize thresholds a trained ensemble into its packed-binary form.
+func Quantize(m *Model) (*BinaryModel, error) { return infer.Quantize(m) }

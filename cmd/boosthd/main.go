@@ -5,8 +5,13 @@
 //
 //	boosthd -dataset wesad|nurse|stresspredict
 //	        -model boosthd|onlinehd|adaboost|rf|xgboost|svm|dnn
+//	        [-backend float|binary]
 //	        [-dim 10000] [-nl 10] [-epochs 20] [-runs 3] [-seed 7]
 //	        [-subjects N] [-samples N]
+//
+// -backend selects the BoostHD serving engine: float cosine scoring, or
+// the packed-binary backend that quantizes the trained model to bit
+// vectors and scores by Hamming similarity.
 //
 // Each run draws a fresh subject-wise split, normalizes features with
 // training statistics, trains the requested model, and reports accuracy
@@ -25,6 +30,7 @@ import (
 	"boosthd/internal/ensemble"
 	"boosthd/internal/forest"
 	"boosthd/internal/gbdt"
+	"boosthd/internal/infer"
 	"boosthd/internal/nn"
 	"boosthd/internal/onlinehd"
 	"boosthd/internal/signal"
@@ -36,6 +42,7 @@ import (
 func main() {
 	datasetName := flag.String("dataset", "wesad", "wesad, nurse, or stresspredict")
 	modelName := flag.String("model", "boosthd", "boosthd, onlinehd, adaboost, rf, xgboost, svm, dnn")
+	backend := flag.String("backend", "float", "BoostHD serving backend: float or binary")
 	dim := flag.Int("dim", 10000, "HDC total dimension Dtotal")
 	nl := flag.Int("nl", 10, "BoostHD weak learners NL")
 	epochs := flag.Int("epochs", 20, "HDC training epochs")
@@ -45,6 +52,14 @@ func main() {
 	samples := flag.Int("samples", 0, "override raw samples per state (0 = dataset default)")
 	flag.Parse()
 
+	switch strings.ToLower(*backend) {
+	case "", "float", "binary", "packed-binary":
+	default:
+		fail(fmt.Errorf("unknown backend %q (want float or binary)", *backend))
+	}
+	if !strings.EqualFold(*backend, "float") && *backend != "" && !strings.EqualFold(*modelName, "boosthd") {
+		fail(fmt.Errorf("-backend %s applies only to -model boosthd", *backend))
+	}
 	cfg, err := datasetConfig(*datasetName)
 	if err != nil {
 		fail(err)
@@ -87,7 +102,7 @@ func main() {
 		}
 
 		start := time.Now()
-		predict, err := trainModel(*modelName, train, *dim, *nl, *epochs, splitSeed)
+		predict, err := trainModel(*modelName, *backend, train, *dim, *nl, *epochs, splitSeed)
 		if err != nil {
 			fail(err)
 		}
@@ -130,7 +145,7 @@ func datasetConfig(name string) (synth.Config, error) {
 
 type predictor func([][]float64) ([]int, error)
 
-func trainModel(name string, train *dataset.Dataset, dim, nl, epochs int, seed int64) (predictor, error) {
+func trainModel(name, backend string, train *dataset.Dataset, dim, nl, epochs int, seed int64) (predictor, error) {
 	classes := train.NumClasses
 	switch strings.ToLower(name) {
 	case "boosthd":
@@ -141,7 +156,18 @@ func trainModel(name string, train *dataset.Dataset, dim, nl, epochs int, seed i
 		if err != nil {
 			return nil, err
 		}
-		return m.PredictBatch, nil
+		switch strings.ToLower(backend) {
+		case "", "float":
+			return infer.NewEngine(m).PredictBatch, nil
+		case "binary", "packed-binary":
+			eng, err := infer.NewBinaryEngine(m)
+			if err != nil {
+				return nil, err
+			}
+			return eng.PredictBatch, nil
+		default:
+			return nil, fmt.Errorf("unknown backend %q", backend)
+		}
 	case "onlinehd":
 		cfg := onlinehd.DefaultConfig(dim, classes)
 		cfg.Epochs = epochs

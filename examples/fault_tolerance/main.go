@@ -67,21 +67,13 @@ func main() {
 				log.Fatal(err)
 			}
 			bc := boost.Clone()
-			for _, learner := range bc.Learners {
-				for _, cv := range learner.Class {
-					inj.InjectFloat32(cv)
-				}
-			}
+			bc.InjectClassFaults(inj)
 			bAcc, err := bc.Evaluate(test.X, test.Y)
 			if err != nil {
 				log.Fatal(err)
 			}
 			oc := online.Clone()
-			for _, learner := range oc.Learners {
-				for _, cv := range learner.Class {
-					inj.InjectFloat32(cv)
-				}
-			}
+			oc.InjectClassFaults(inj)
 			oAcc, err := oc.Evaluate(test.X, test.Y)
 			if err != nil {
 				log.Fatal(err)

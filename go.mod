@@ -1,0 +1,3 @@
+module boosthd
+
+go 1.21

@@ -129,10 +129,10 @@ func BenchmarkPredict(b *testing.B) {
 
 // BenchmarkPredictBatch measures the parallel inference path the paper
 // highlights ("parallelization becomes feasible during the inference
-// phase").
+// phase") at the paper's reference configuration Dtotal=10000, NL=10.
 func BenchmarkPredictBatch(b *testing.B) {
 	trainX, trainY, testX, _ := ablationData(b)
-	cfg := DefaultConfig(4000, 10, 3)
+	cfg := DefaultConfig(10000, 10, 3)
 	cfg.Epochs = 5
 	m, err := Train(trainX, trainY, cfg)
 	if err != nil {

@@ -14,14 +14,15 @@ package boosthd
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"boosthd/internal/encoding"
 	"boosthd/internal/ensemble"
+	"boosthd/internal/faults"
 	"boosthd/internal/hdc"
 	"boosthd/internal/onlinehd"
+	"boosthd/internal/par"
 )
 
 // Aggregation selects how weak-learner outputs combine at inference.
@@ -192,23 +193,128 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 	return m, nil
 }
 
+// classNorms snapshots every learner's cached class-vector norms,
+// learner-major. The snapshot is taken once per batch; the per-learner
+// caches refresh themselves when their version counter says the class
+// vectors changed (Fit, fault injection via InjectClassFaults or
+// InvalidateCaches).
+func (m *Model) classNorms() [][]float64 {
+	norms := make([][]float64, len(m.Learners))
+	for i, l := range m.Learners {
+		norms[i] = l.ClassNorms()
+	}
+	return norms
+}
+
+// inferScratch is the per-worker scoring state: reused across every row a
+// worker classifies, so steady-state inference allocates nothing.
+type inferScratch struct {
+	agg  []float64 // alpha-weighted aggregate per class
+	dots []float64 // per-class dot products within one segment
+}
+
+func (m *Model) newInferScratch() *inferScratch {
+	return &inferScratch{
+		agg:  make([]float64, m.Cfg.Classes),
+		dots: make([]float64, m.Cfg.Classes),
+	}
+}
+
+// segmentDots walks one query segment once, accumulating the squared
+// query norm and the dot product against every class hypervector
+// together. The two- and three-class bodies (the paper's healthcare
+// datasets) hoist the class slices into independent accumulator chains;
+// all variants accumulate in index order, so the scores are bit-identical
+// to separate hdc.Dot / hdc.Norm calls.
+func segmentDots(hseg hdc.Vector, class []hdc.Vector, dots []float64) (hn2 float64) {
+	n := len(hseg)
+	switch len(class) {
+	case 2:
+		c0, c1 := class[0][:n], class[1][:n]
+		var d0, d1 float64
+		for k, hv := range hseg {
+			hn2 += hv * hv
+			d0 += hv * c0[k]
+			d1 += hv * c1[k]
+		}
+		dots[0], dots[1] = d0, d1
+	case 3:
+		c0, c1, c2 := class[0][:n], class[1][:n], class[2][:n]
+		var d0, d1, d2 float64
+		for k, hv := range hseg {
+			hn2 += hv * hv
+			d0 += hv * c0[k]
+			d1 += hv * c1[k]
+			d2 += hv * c2[k]
+		}
+		dots[0], dots[1], dots[2] = d0, d1, d2
+	default:
+		for c := range dots {
+			dots[c] = 0
+		}
+		for k, hv := range hseg {
+			hn2 += hv * hv
+			for c, cv := range class {
+				dots[c] += hv * cv[k]
+			}
+		}
+	}
+	return hn2
+}
+
+// classifyEncoded scores a full-width encoding in one pass: for every
+// learner it walks that learner's dimension segment once, accumulating the
+// query-segment norm and all per-class dot products together, then folds
+// the learner's cosine scores (or its vote) into the alpha-weighted
+// aggregate. Arithmetic order matches the historical slice-per-learner
+// path exactly, so predictions are bit-identical to it.
+func (m *Model) classifyEncoded(h hdc.Vector, norms [][]float64, sc *inferScratch) int {
+	classes := m.Cfg.Classes
+	for c := 0; c < classes; c++ {
+		sc.agg[c] = 0
+	}
+	score := m.Cfg.Aggregation == Score
+	for i, l := range m.Learners {
+		seg := m.segs[i]
+		hseg := h[seg.lo:seg.hi]
+		hn := math.Sqrt(segmentDots(hseg, l.Class, sc.dots))
+		// Convert dots to cosine scores in place, replicating the
+		// zero-norm conventions of HVClassifier.Scores.
+		for c := 0; c < classes; c++ {
+			cn := norms[i][c]
+			if hn == 0 || cn == 0 {
+				sc.dots[c] = 0
+				continue
+			}
+			sc.dots[c] = sc.dots[c] / (hn * cn)
+		}
+		if score {
+			for c := 0; c < classes; c++ {
+				sc.agg[c] += m.Alphas[i] * sc.dots[c]
+			}
+		} else {
+			vote := 0
+			for c := 1; c < classes; c++ {
+				if sc.dots[c] > sc.dots[vote] {
+					vote = c
+				}
+			}
+			sc.agg[vote] += m.Alphas[i]
+		}
+	}
+	best := 0
+	for c := 1; c < classes; c++ {
+		if sc.agg[c] > sc.agg[best] {
+			best = c
+		}
+	}
+	return best
+}
+
 // PredictEncoded classifies a full-width encoded hypervector by combining
 // the weak learners over their dimension segments.
 func (m *Model) PredictEncoded(h hdc.Vector) int {
-	switch m.Cfg.Aggregation {
-	case Score:
-		scores := make([][]float64, len(m.Learners))
-		for i, l := range m.Learners {
-			scores[i] = l.Scores(h.Slice(m.segs[i].lo, m.segs[i].hi))
-		}
-		return ensemble.ScoreAggregate(scores, m.Alphas, m.Cfg.Classes)
-	default:
-		votes := make([]int, len(m.Learners))
-		for i, l := range m.Learners {
-			votes[i] = l.Predict(h.Slice(m.segs[i].lo, m.segs[i].hi))
-		}
-		return ensemble.VoteAggregate(votes, m.Alphas, m.Cfg.Classes)
-	}
+	return m.classifyEncoded(h, m.classNorms(), m.newInferScratch())
 }
 
 // Predict classifies one raw feature vector.
@@ -220,52 +326,54 @@ func (m *Model) Predict(x []float64) (int, error) {
 	return m.PredictEncoded(h), nil
 }
 
-// PredictBatch classifies rows in parallel across GOMAXPROCS workers —
-// the inference-phase parallelism the paper highlights.
+// predictBatchRows is the block size of the fused encode+score pipeline:
+// each worker encodes a block of rows into its own reusable flat buffer —
+// amortizing the projection-matrix sweep across the block — and scores it
+// before moving to the next block, keeping memory bounded and encodings
+// cache resident when consumed. It equals the encoder's row-block
+// granularity so the nested EncodeBatchInto runs on the worker's own
+// goroutine (one block = one work unit, no nested pool).
+const predictBatchRows = encoding.BatchRowBlock
+
+// PredictBatch classifies rows through the fused pipeline — the
+// inference-phase parallelism the paper highlights, without the per-row
+// encode and score allocations the naive path pays.
 func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
 	out := make([]int, len(X))
 	if len(X) == 0 {
 		return out, nil
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(X) {
-		workers = len(X)
+	D := m.Cfg.TotalDim
+	norms := m.classNorms()
+	blocks := (len(X) + predictBatchRows - 1) / predictBatchRows
+	workers := par.Workers(blocks)
+	type worker struct {
+		buf []float64
+		sc  *inferScratch
 	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		next  int
-		fatal error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if fatal != nil || next >= len(X) {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				p, err := m.Predict(X[i])
-				if err != nil {
-					mu.Lock()
-					if fatal == nil {
-						fatal = fmt.Errorf("boosthd: row %d: %w", i, err)
-					}
-					mu.Unlock()
-					return
-				}
-				out[i] = p
-			}
-		}()
-	}
-	wg.Wait()
-	if fatal != nil {
-		return nil, fatal
+	ws := make([]*worker, workers)
+	err := par.ForEachWorker(blocks, func(w, blk int) error {
+		st := ws[w]
+		if st == nil {
+			st = &worker{buf: make([]float64, predictBatchRows*D), sc: m.newInferScratch()}
+			ws[w] = st
+		}
+		lo := blk * predictBatchRows
+		hi := lo + predictBatchRows
+		if hi > len(X) {
+			hi = len(X)
+		}
+		if err := m.Enc.EncodeBatchInto(X[lo:hi], st.buf, D, 0); err != nil {
+			return fmt.Errorf("boosthd: rows [%d,%d): %w", lo, hi, err)
+		}
+		for i := lo; i < hi; i++ {
+			h := hdc.Vector(st.buf[(i-lo)*D : (i-lo+1)*D])
+			out[i] = m.classifyEncoded(h, norms, st.sc)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -337,6 +445,49 @@ func (m *Model) EmbeddedClassVectors() []hdc.Vector {
 		}
 	}
 	return out
+}
+
+// EncodeSegmentBits encodes one raw feature vector directly into packed
+// per-segment sign bits: dst[i] receives the sign pattern of learner i's
+// dimension segment. This is the packed-binary backend's query path — the
+// sign of each component is derived from the projection phase without
+// evaluating the trigonometric activation.
+func (m *Model) EncodeSegmentBits(x []float64, dst []*hdc.BitVector) error {
+	if len(dst) != len(m.segs) {
+		return fmt.Errorf("boosthd: %d bit destinations for %d segments", len(dst), len(m.segs))
+	}
+	return m.Enc.EncodeSegmentBits(x, m.segs, dst)
+}
+
+// EncodeSegmentBitsBatch encodes a block of rows into per-segment sign
+// bits (dst[r][i] = row r, segment i) through the register-blocked batch
+// kernel — the binary engine's batch query path.
+func (m *Model) EncodeSegmentBitsBatch(X [][]float64, dst [][]*hdc.BitVector) error {
+	return m.Enc.EncodeSegmentBitsBatch(X, m.segs, dst)
+}
+
+// InvalidateCaches discards every learner's derived scoring state (cached
+// class-vector norms). Call it after mutating class vectors through
+// ClassVectors or any other direct write.
+func (m *Model) InvalidateCaches() {
+	for _, l := range m.Learners {
+		l.Invalidate()
+	}
+}
+
+// InjectClassFaults flips bits in every learner's class hypervectors under
+// the injector's per-bit probability — the paper's Figure 8 reliability
+// protocol — and invalidates the norm caches so subsequent scoring sees
+// the corrupted memory. It returns the total number of flipped bits.
+func (m *Model) InjectClassFaults(inj *faults.Injector) int {
+	flips := 0
+	for _, l := range m.Learners {
+		for _, cv := range l.Class {
+			flips += inj.InjectFloat32(cv)
+		}
+		l.Invalidate()
+	}
+	return flips
 }
 
 // Clone deep-copies the ensemble (fault-injection trials mutate copies).

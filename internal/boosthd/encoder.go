@@ -9,10 +9,58 @@ import (
 )
 
 // hdEncoder abstracts the encoding stage of a BoostHD model: a single
-// shared projection, or one projection per dimension segment.
+// shared projection, or one projection per dimension segment. Beyond the
+// per-row and batch float paths it exposes the two engine entry points:
+// EncodeBatchInto writes a batch into one caller-owned flat matrix, and
+// EncodeSegmentBits emits packed sign bits per dimension segment for the
+// binary backend.
 type hdEncoder interface {
 	Encode(x []float64) (hdc.Vector, error)
 	EncodeBatch(xs [][]float64) ([]hdc.Vector, error)
+	// EncodeBatchInto writes row i into out[i*stride : i*stride+width],
+	// where width is the encoder's total output dimension.
+	EncodeBatchInto(xs [][]float64, out []float64, stride, offset int) error
+	// EncodeSegmentBits writes the sign bits of segment i of x's encoding
+	// into dst[i].
+	EncodeSegmentBits(x []float64, segs []segment, dst []*hdc.BitVector) error
+	// EncodeSegmentBitsBatch writes the sign bits of segment i of row r's
+	// encoding into dst[r][i], register-blocking rows.
+	EncodeSegmentBitsBatch(xs [][]float64, segs []segment, dst [][]*hdc.BitVector) error
+}
+
+// singleEncoder adapts one shared full-width projection to the hdEncoder
+// interface (the GammaSpread <= 1 configuration).
+type singleEncoder struct {
+	*encoding.Encoder
+}
+
+// EncodeSegmentBits extracts each segment's sign bits from the shared
+// projection by encoding the matching component range.
+func (se singleEncoder) EncodeSegmentBits(x []float64, segs []segment, dst []*hdc.BitVector) error {
+	for i, s := range segs {
+		if err := se.Encoder.EncodeBitsRange(x, s.lo, s.hi, dst[i]); err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// EncodeSegmentBitsBatch extracts each segment's sign bits for a block of
+// rows through the register-blocked batch kernel.
+func (se singleEncoder) EncodeSegmentBitsBatch(xs [][]float64, segs []segment, dst [][]*hdc.BitVector) error {
+	if len(dst) != len(xs) {
+		return fmt.Errorf("boosthd: %d bit destinations for %d rows", len(dst), len(xs))
+	}
+	cols := make([]*hdc.BitVector, len(xs))
+	for i, s := range segs {
+		for r := range xs {
+			cols[r] = dst[r][i]
+		}
+		if err := se.Encoder.EncodeBitsRangeBatch(xs, s.lo, s.hi, cols); err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // spreadEncoder realizes Figure 1's per-learner "HD Encoding" boxes: each
@@ -24,7 +72,7 @@ type hdEncoder interface {
 // cannot provide.
 type spreadEncoder struct {
 	encs []*encoding.Encoder // one per segment
-	dims []int
+	offs []int               // segment start offset within the full width
 	out  int
 }
 
@@ -34,7 +82,11 @@ type spreadEncoder struct {
 // gamma * spread^(2i/(NL-1) - 1), covering [gamma/spread, gamma*spread].
 func newSpreadEncoder(features int, cfg Config, gamma float64) (hdEncoder, error) {
 	if cfg.GammaSpread <= 1 || cfg.NumLearners == 1 {
-		return encoding.NewWithGamma(features, cfg.TotalDim, cfg.Encoder, gamma, cfg.Seed)
+		enc, err := encoding.NewWithGamma(features, cfg.TotalDim, cfg.Encoder, gamma, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return singleEncoder{enc}, nil
 	}
 	segs := partition(cfg.TotalDim, cfg.NumLearners)
 	se := &spreadEncoder{out: cfg.TotalDim}
@@ -47,7 +99,7 @@ func newSpreadEncoder(features int, cfg Config, gamma float64) (hdEncoder, error
 			return nil, fmt.Errorf("boosthd: segment %d encoder: %w", i, err)
 		}
 		se.encs = append(se.encs, enc)
-		se.dims = append(se.dims, s.hi-s.lo)
+		se.offs = append(se.offs, s.lo)
 	}
 	return se, nil
 }
@@ -62,32 +114,74 @@ func pow(base, exp float64) float64 {
 // Encode concatenates the per-segment encodings into one full-width
 // hypervector, preserving the segment layout the learners expect.
 func (se *spreadEncoder) Encode(x []float64) (hdc.Vector, error) {
-	out := make(hdc.Vector, 0, se.out)
-	for _, enc := range se.encs {
-		h, err := enc.Encode(x)
-		if err != nil {
+	out := make(hdc.Vector, se.out)
+	for i, enc := range se.encs {
+		if err := enc.EncodeInto(x, out[se.offs[i]:se.offs[i]+enc.OutDim]); err != nil {
 			return nil, err
 		}
-		out = append(out, h...)
 	}
 	return out, nil
 }
 
-// EncodeBatch encodes every row (each sub-encoder already parallelizes
-// across rows).
+// EncodeBatchInto encodes every row into the flat matrix: each sub-encoder
+// writes its segment at the segment's offset within the row stride, so the
+// batch is a sequence of blocked projections over the same input rows.
+func (se *spreadEncoder) EncodeBatchInto(xs [][]float64, out []float64, stride, offset int) error {
+	for i, enc := range se.encs {
+		if err := enc.EncodeBatchInto(xs, out, stride, offset+se.offs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeBatch encodes every row into views of one flat allocation.
 func (se *spreadEncoder) EncodeBatch(xs [][]float64) ([]hdc.Vector, error) {
 	outs := make([]hdc.Vector, len(xs))
-	for i := range outs {
-		outs[i] = make(hdc.Vector, 0, se.out)
+	if len(xs) == 0 {
+		return outs, nil
 	}
-	for _, enc := range se.encs {
-		part, err := enc.EncodeBatch(xs)
-		if err != nil {
-			return nil, err
-		}
-		for i := range outs {
-			outs[i] = append(outs[i], part[i]...)
-		}
+	flat := make([]float64, len(xs)*se.out)
+	if err := se.EncodeBatchInto(xs, flat, se.out, 0); err != nil {
+		return nil, err
+	}
+	for i := range outs {
+		outs[i] = hdc.Vector(flat[i*se.out : (i+1)*se.out])
 	}
 	return outs, nil
+}
+
+// EncodeSegmentBits asks each per-segment sub-encoder for its sign bits
+// directly; segment i of the model maps 1:1 onto sub-encoder i.
+func (se *spreadEncoder) EncodeSegmentBits(x []float64, segs []segment, dst []*hdc.BitVector) error {
+	if len(segs) != len(se.encs) {
+		return fmt.Errorf("boosthd: %d segments for %d sub-encoders", len(segs), len(se.encs))
+	}
+	for i, enc := range se.encs {
+		if err := enc.EncodeBitsRange(x, 0, enc.OutDim, dst[i]); err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// EncodeSegmentBitsBatch runs each sub-encoder's register-blocked bits
+// kernel over the whole row block.
+func (se *spreadEncoder) EncodeSegmentBitsBatch(xs [][]float64, segs []segment, dst [][]*hdc.BitVector) error {
+	if len(segs) != len(se.encs) {
+		return fmt.Errorf("boosthd: %d segments for %d sub-encoders", len(segs), len(se.encs))
+	}
+	if len(dst) != len(xs) {
+		return fmt.Errorf("boosthd: %d bit destinations for %d rows", len(dst), len(xs))
+	}
+	cols := make([]*hdc.BitVector, len(xs))
+	for i, enc := range se.encs {
+		for r := range xs {
+			cols[r] = dst[r][i]
+		}
+		if err := enc.EncodeBitsRangeBatch(xs, 0, enc.OutDim, cols); err != nil {
+			return fmt.Errorf("segment %d: %w", i, err)
+		}
+	}
+	return nil
 }

@@ -7,16 +7,20 @@
 // variant (cos only) and a linear projection are provided for ablations.
 // An ID-level record encoder for symbolic/classic HDC pipelines completes
 // the set.
+//
+// The batch entry points write into caller-owned flat buffers and tile the
+// projection so a batch is one cache-friendly GEMM-style loop rather than
+// independent row encodes; the packed-binary backend additionally gets a
+// sign-only path that skips the trigonometric evaluation entirely.
 package encoding
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"boosthd/internal/hdc"
+	"boosthd/internal/par"
 )
 
 // Kind selects the activation applied to the random projection.
@@ -63,6 +67,12 @@ type Encoder struct {
 
 	w []float64 // OutDim x InDim projection, row-major
 	b []float64 // OutDim phase offsets
+
+	// halfSinB caches 0.5*sin(b_j) for the product-to-sum form of the
+	// nonlinear activation: cos(d+b)*sin(d) = 0.5*sin(2d+b) - 0.5*sin(b),
+	// which costs one trigonometric evaluation per component instead of
+	// two on the inference hot path.
+	halfSinB []float64
 }
 
 // DefaultGamma returns the default kernel bandwidth for inDim features:
@@ -104,82 +114,406 @@ func NewWithGamma(inDim, outDim int, kind Kind, gamma float64, seed int64) (*Enc
 	for i := range e.b {
 		e.b[i] = rng.Float64() * 2 * math.Pi
 	}
+	if kind == Nonlinear {
+		e.halfSinB = make([]float64, outDim)
+		for i, b := range e.b {
+			e.halfSinB[i] = 0.5 * math.Sin(b)
+		}
+	}
 	return e, nil
+}
+
+// checkRow validates one feature row.
+func (e *Encoder) checkRow(x []float64) error {
+	if len(x) != e.InDim {
+		return fmt.Errorf("encoding: feature length %d != InDim %d", len(x), e.InDim)
+	}
+	return nil
+}
+
+// project returns Gamma * <w_j, x> for output component j.
+func (e *Encoder) project(j int, x []float64) float64 {
+	row := e.w[j*e.InDim : (j+1)*e.InDim]
+	var dot float64
+	for k, wv := range row {
+		dot += wv * x[k]
+	}
+	return dot * e.Gamma
+}
+
+// encodeRange writes components [lo,hi) of the encoding of x into
+// dst[0:hi-lo]. The activation switch is hoisted out of the component loop.
+func (e *Encoder) encodeRange(x []float64, lo, hi int, dst []float64) {
+	switch e.Kind {
+	case Nonlinear:
+		for j := lo; j < hi; j++ {
+			d := e.project(j, x)
+			dst[j-lo] = 0.5*math.Sin(2*d+e.b[j]) - e.halfSinB[j]
+		}
+	case RFF:
+		for j := lo; j < hi; j++ {
+			dst[j-lo] = math.Cos(e.project(j, x) + e.b[j])
+		}
+	default:
+		for j := lo; j < hi; j++ {
+			dst[j-lo] = e.project(j, x)
+		}
+	}
+}
+
+// EncodeInto maps one feature vector into hyperspace, writing the result
+// into dst (length OutDim). It allocates nothing.
+func (e *Encoder) EncodeInto(x []float64, dst []float64) error {
+	if err := e.checkRow(x); err != nil {
+		return err
+	}
+	if len(dst) != e.OutDim {
+		return fmt.Errorf("encoding: dst length %d != OutDim %d", len(dst), e.OutDim)
+	}
+	e.encodeRange(x, 0, e.OutDim, dst)
+	return nil
 }
 
 // Encode maps one feature vector into hyperspace.
 func (e *Encoder) Encode(x []float64) (hdc.Vector, error) {
-	if len(x) != e.InDim {
-		return nil, fmt.Errorf("encoding: feature length %d != InDim %d", len(x), e.InDim)
-	}
 	h := make(hdc.Vector, e.OutDim)
-	for j := 0; j < e.OutDim; j++ {
-		row := e.w[j*e.InDim : (j+1)*e.InDim]
-		var dot float64
-		for k, xv := range x {
-			dot += row[k] * xv
-		}
-		dot *= e.Gamma
-		switch e.Kind {
-		case Nonlinear:
-			h[j] = math.Cos(dot+e.b[j]) * math.Sin(dot)
-		case RFF:
-			h[j] = math.Cos(dot + e.b[j])
-		default:
-			h[j] = dot
-		}
+	if err := e.EncodeInto(x, h); err != nil {
+		return nil, err
 	}
 	return h, nil
 }
 
-// EncodeBatch maps a batch of feature vectors, splitting rows across
-// GOMAXPROCS workers. Any row-level error aborts with that error.
+// BatchRowBlock is the row-block granularity of the batch kernels.
+// Callers that drive EncodeBatchInto from their own worker pools should
+// feed it blocks of at most this many rows: a block then maps to a
+// single internal work unit, so the inner par.ForEach stays on the
+// caller's goroutine instead of spawning a nested pool.
+const BatchRowBlock = 32
+
+// Batch tiling parameters: each worker encodes BatchRowBlock rows at a
+// time, sweeping the projection matrix in dimBlock-row tiles so a tile
+// of w is loaded once per row block instead of once per row. At typical
+// feature widths a tile is tens of kilobytes — cache resident — which
+// turns the batch projection into a blocked GEMM-style loop.
+const (
+	encodeRowBlock = BatchRowBlock
+	encodeDimBlock = 256
+)
+
+// encodeRange4 encodes components [lo,hi) for four rows at once. Each
+// projection row w_j is loaded once and fed to four independent
+// accumulator chains — the register-blocking step of the batch GEMM —
+// which hides the floating-point add latency that serializes a lone dot
+// product. Every row's dot product still accumulates in index order, so
+// results are bit-identical to the one-row path.
+func (e *Encoder) encodeRange4(x0, x1, x2, x3 []float64, lo, hi int, d0, d1, d2, d3 []float64) {
+	in := e.InDim
+	g := e.Gamma
+	// Pin every row to exactly InDim elements so the compiler can drop the
+	// bounds checks inside the accumulation loop.
+	x0, x1, x2, x3 = x0[:in], x1[:in], x2[:in], x3[:in]
+	switch e.Kind {
+	case Nonlinear:
+		for j := lo; j < hi; j++ {
+			row := e.w[j*in : j*in+in]
+			var s0, s1, s2, s3 float64
+			for k, wv := range row {
+				s0 += wv * x0[k]
+				s1 += wv * x1[k]
+				s2 += wv * x2[k]
+				s3 += wv * x3[k]
+			}
+			b := e.b[j]
+			hsb := e.halfSinB[j]
+			d0[j] = 0.5*math.Sin(2*(s0*g)+b) - hsb
+			d1[j] = 0.5*math.Sin(2*(s1*g)+b) - hsb
+			d2[j] = 0.5*math.Sin(2*(s2*g)+b) - hsb
+			d3[j] = 0.5*math.Sin(2*(s3*g)+b) - hsb
+		}
+	case RFF:
+		for j := lo; j < hi; j++ {
+			row := e.w[j*in : j*in+in]
+			var s0, s1, s2, s3 float64
+			for k, wv := range row {
+				s0 += wv * x0[k]
+				s1 += wv * x1[k]
+				s2 += wv * x2[k]
+				s3 += wv * x3[k]
+			}
+			b := e.b[j]
+			d0[j] = math.Cos(s0*g + b)
+			d1[j] = math.Cos(s1*g + b)
+			d2[j] = math.Cos(s2*g + b)
+			d3[j] = math.Cos(s3*g + b)
+		}
+	default:
+		for j := lo; j < hi; j++ {
+			row := e.w[j*in : j*in+in]
+			var s0, s1, s2, s3 float64
+			for k, wv := range row {
+				s0 += wv * x0[k]
+				s1 += wv * x1[k]
+				s2 += wv * x2[k]
+				s3 += wv * x3[k]
+			}
+			d0[j] = s0 * g
+			d1[j] = s1 * g
+			d2[j] = s2 * g
+			d3[j] = s3 * g
+		}
+	}
+}
+
+// EncodeBatchInto encodes every row of xs into the caller-owned flat
+// buffer out: row i occupies out[i*stride+offset : i*stride+offset+OutDim].
+// stride >= offset+OutDim lets several encoders (e.g. BoostHD's
+// per-segment stack) share one row-major matrix. Rows are processed in
+// blocks across workers with the projection tiled for cache reuse.
+func (e *Encoder) EncodeBatchInto(xs [][]float64, out []float64, stride, offset int) error {
+	if len(xs) == 0 {
+		return nil
+	}
+	if offset < 0 || stride < offset+e.OutDim {
+		return fmt.Errorf("encoding: stride %d cannot hold OutDim %d at offset %d", stride, e.OutDim, offset)
+	}
+	if len(out) < len(xs)*stride {
+		return fmt.Errorf("encoding: out length %d < %d rows * stride %d", len(out), len(xs), stride)
+	}
+	for i, x := range xs {
+		if err := e.checkRow(x); err != nil {
+			return fmt.Errorf("encoding: row %d: %w", i, err)
+		}
+	}
+	blocks := (len(xs) + encodeRowBlock - 1) / encodeRowBlock
+	return par.ForEach(blocks, func(blk int) error {
+		lo := blk * encodeRowBlock
+		hi := lo + encodeRowBlock
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		dst := func(i int) []float64 { return out[i*stride+offset : i*stride+offset+e.OutDim] }
+		for j0 := 0; j0 < e.OutDim; j0 += encodeDimBlock {
+			j1 := j0 + encodeDimBlock
+			if j1 > e.OutDim {
+				j1 = e.OutDim
+			}
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				e.encodeRange4(xs[i], xs[i+1], xs[i+2], xs[i+3], j0, j1,
+					dst(i), dst(i+1), dst(i+2), dst(i+3))
+			}
+			for ; i < hi; i++ {
+				e.encodeRange(xs[i], j0, j1, dst(i)[j0:j1])
+			}
+		}
+		return nil
+	})
+}
+
+// EncodeBatch maps a batch of feature vectors. The returned hypervectors
+// are views into one flat allocation, encoded with the blocked batch
+// kernel.
 func (e *Encoder) EncodeBatch(xs [][]float64) ([]hdc.Vector, error) {
 	out := make([]hdc.Vector, len(xs))
 	if len(xs) == 0 {
 		return out, nil
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(xs) {
-		workers = len(xs)
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if err != nil || next >= len(xs) {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				h, encErr := e.Encode(xs[i])
-				if encErr != nil {
-					mu.Lock()
-					if err == nil {
-						err = fmt.Errorf("encoding: row %d: %w", i, encErr)
-					}
-					mu.Unlock()
-					return
-				}
-				out[i] = h
-			}
-		}()
-	}
-	wg.Wait()
-	if err != nil {
+	flat := make([]float64, len(xs)*e.OutDim)
+	if err := e.EncodeBatchInto(xs, flat, e.OutDim, 0); err != nil {
 		return nil, err
 	}
+	for i := range out {
+		out[i] = hdc.Vector(flat[i*e.OutDim : (i+1)*e.OutDim])
+	}
 	return out, nil
+}
+
+const invTwoPi = 1 / (2 * math.Pi)
+
+// phaseFrac returns t/(2*pi) mod 1 in [0,1) — the quadrant information the
+// sign-only encoder needs, at the cost of a multiply and a floor instead
+// of a full trigonometric evaluation.
+func phaseFrac(t float64) float64 {
+	f := t * invTwoPi
+	return f - math.Floor(f)
+}
+
+// EncodeBitsRange writes the sign bits of encoding components [lo,hi) of x
+// into dst: bit k of dst is set iff component lo+k of the real encoding is
+// >= 0. For the trigonometric kinds the sign is derived from the phase
+// quadrants directly — sign(cos(d+b)*sin(d)) = sign(cos(d+b))*sign(sin(d))
+// — so the packed-binary backend never evaluates sin or cos at all.
+func (e *Encoder) EncodeBitsRange(x []float64, lo, hi int, dst *hdc.BitVector) error {
+	if err := e.checkRow(x); err != nil {
+		return err
+	}
+	if lo < 0 || hi > e.OutDim || lo > hi {
+		return fmt.Errorf("encoding: bit range [%d,%d) outside [0,%d)", lo, hi, e.OutDim)
+	}
+	if dst.N != hi-lo {
+		return fmt.Errorf("encoding: bit destination dim %d != range width %d", dst.N, hi-lo)
+	}
+	switch e.Kind {
+	case Nonlinear:
+		for j := lo; j < hi; j++ {
+			d := e.project(j, x)
+			sinNeg := phaseFrac(d) > 0.5
+			fc := phaseFrac(d + e.b[j])
+			cosNeg := fc > 0.25 && fc < 0.75
+			dst.Set(j-lo, sinNeg == cosNeg)
+		}
+	case RFF:
+		for j := lo; j < hi; j++ {
+			fc := phaseFrac(e.project(j, x) + e.b[j])
+			dst.Set(j-lo, !(fc > 0.25 && fc < 0.75))
+		}
+	default:
+		for j := lo; j < hi; j++ {
+			dst.Set(j-lo, e.project(j, x) >= 0)
+		}
+	}
+	return nil
+}
+
+// EncodeBitsRangeBatch encodes components [lo,hi) of every row of xs into
+// dst: bit k of dst[r] is the sign bit of component lo+k of row r's
+// encoding. Rows are register-blocked four at a time like the float batch
+// kernel, and bits are assembled in registers and flushed a whole 64-bit
+// word at a time.
+func (e *Encoder) EncodeBitsRangeBatch(xs [][]float64, lo, hi int, dst []*hdc.BitVector) error {
+	if len(dst) != len(xs) {
+		return fmt.Errorf("encoding: %d bit destinations for %d rows", len(dst), len(xs))
+	}
+	for i, x := range xs {
+		if err := e.checkRow(x); err != nil {
+			return fmt.Errorf("encoding: row %d: %w", i, err)
+		}
+	}
+	if lo < 0 || hi > e.OutDim || lo > hi {
+		return fmt.Errorf("encoding: bit range [%d,%d) outside [0,%d)", lo, hi, e.OutDim)
+	}
+	// Destinations must be exactly the range width: the 4-row kernel
+	// stores whole 64-bit words, so a wider vector would have bits beyond
+	// the range zeroed (and inconsistently so between the blocked and
+	// scalar row paths).
+	for i, d := range dst {
+		if d.N != hi-lo {
+			return fmt.Errorf("encoding: row %d bit destination dim %d != range width %d", i, d.N, hi-lo)
+		}
+	}
+	r := 0
+	for ; r+4 <= len(xs); r += 4 {
+		e.encodeBits4(xs[r], xs[r+1], xs[r+2], xs[r+3], lo, hi,
+			dst[r], dst[r+1], dst[r+2], dst[r+3])
+	}
+	for ; r < len(xs); r++ {
+		if err := e.EncodeBitsRange(xs[r], lo, hi, dst[r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeBits4 is the four-row register-blocked core of the sign-bit
+// encoder: one shared sweep of the projection rows feeds four independent
+// dot-product chains, each component's sign is read off its phase, and
+// completed 64-bit words are stored directly into the destinations.
+func (e *Encoder) encodeBits4(x0, x1, x2, x3 []float64, lo, hi int, d0, d1, d2, d3 *hdc.BitVector) {
+	in := e.InDim
+	g := e.Gamma
+	x0, x1, x2, x3 = x0[:in], x1[:in], x2[:in], x3[:in]
+	if e.Kind == Nonlinear {
+		// The hot configuration gets a fully inlined body: the sign of
+		// cos(d+b)*sin(d) is the XNOR of the two factors' phase signs.
+		for jStart := lo; jStart < hi; jStart += 64 {
+			jEnd := jStart + 64
+			if jEnd > hi {
+				jEnd = hi
+			}
+			var w0, w1, w2, w3 uint64
+			for j := jStart; j < jEnd; j++ {
+				row := e.w[j*in : j*in+in]
+				var s0, s1, s2, s3 float64
+				for k, wv := range row {
+					s0 += wv * x0[k]
+					s1 += wv * x1[k]
+					s2 += wv * x2[k]
+					s3 += wv * x3[k]
+				}
+				bj := e.b[j]
+				bit := uint64(1) << uint(j-jStart)
+				d := s0 * g
+				fc := phaseFrac(d + bj)
+				if (phaseFrac(d) > 0.5) == (fc > 0.25 && fc < 0.75) {
+					w0 |= bit
+				}
+				d = s1 * g
+				fc = phaseFrac(d + bj)
+				if (phaseFrac(d) > 0.5) == (fc > 0.25 && fc < 0.75) {
+					w1 |= bit
+				}
+				d = s2 * g
+				fc = phaseFrac(d + bj)
+				if (phaseFrac(d) > 0.5) == (fc > 0.25 && fc < 0.75) {
+					w2 |= bit
+				}
+				d = s3 * g
+				fc = phaseFrac(d + bj)
+				if (phaseFrac(d) > 0.5) == (fc > 0.25 && fc < 0.75) {
+					w3 |= bit
+				}
+			}
+			wIdx := (jStart - lo) / 64
+			d0.Words[wIdx] = w0
+			d1.Words[wIdx] = w1
+			d2.Words[wIdx] = w2
+			d3.Words[wIdx] = w3
+		}
+		return
+	}
+	sign := func(d float64, bj float64) bool {
+		if e.Kind == RFF {
+			fc := phaseFrac(d + bj)
+			return !(fc > 0.25 && fc < 0.75)
+		}
+		return d >= 0
+	}
+	for jStart := lo; jStart < hi; jStart += 64 {
+		jEnd := jStart + 64
+		if jEnd > hi {
+			jEnd = hi
+		}
+		var w0, w1, w2, w3 uint64
+		for j := jStart; j < jEnd; j++ {
+			row := e.w[j*in : j*in+in]
+			var s0, s1, s2, s3 float64
+			for k, wv := range row {
+				s0 += wv * x0[k]
+				s1 += wv * x1[k]
+				s2 += wv * x2[k]
+				s3 += wv * x3[k]
+			}
+			bj := e.b[j]
+			bit := uint64(1) << uint(j-jStart)
+			if sign(s0*g, bj) {
+				w0 |= bit
+			}
+			if sign(s1*g, bj) {
+				w1 |= bit
+			}
+			if sign(s2*g, bj) {
+				w2 |= bit
+			}
+			if sign(s3*g, bj) {
+				w3 |= bit
+			}
+		}
+		wIdx := (jStart - lo) / 64
+		d0.Words[wIdx] = w0
+		d1.Words[wIdx] = w1
+		d2.Words[wIdx] = w2
+		d3.Words[wIdx] = w3
+	}
 }
 
 // ProjectionMatrix returns a copy of the OutDim x InDim projection weights;

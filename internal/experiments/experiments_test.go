@@ -240,3 +240,16 @@ func TestZooCoversPaperModels(t *testing.T) {
 		t.Error("hdcZoo should hold the two HDC models")
 	}
 }
+
+func TestRunInferBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running experiment smoke test")
+	}
+	tab, err := RunInferBench(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // float and packed-binary backends
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+}

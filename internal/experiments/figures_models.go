@@ -327,24 +327,17 @@ func RunFigure8(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			// OnlineHD: flip class-vector bits.
+			// OnlineHD: flip class-vector bits. InjectClassFaults also
+			// invalidates the norm caches the scoring engine keys on.
 			oc := online.Clone()
-			for _, learner := range oc.Learners {
-				for _, cv := range learner.Class {
-					inj.InjectFloat32(cv)
-				}
-			}
+			oc.InjectClassFaults(inj)
 			oAcc, err := oc.Evaluate(sp.test.X, sp.test.Y)
 			if err != nil {
 				return nil, err
 			}
 			// BoostHD: same flip model across all partitions.
 			bc := boost.Clone()
-			for _, learner := range bc.Learners {
-				for _, cv := range learner.Class {
-					inj.InjectFloat32(cv)
-				}
-			}
+			bc.InjectClassFaults(inj)
 			bAcc, err := bc.Evaluate(sp.test.X, sp.test.Y)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/hdc"
+	"boosthd/internal/infer"
+)
+
+// RunInferBench produces the inference-backend ablation of the serving
+// engine: float (cosine over full-precision class hypervectors) versus
+// packed-binary (Hamming over thresholded bit vectors) on the synthetic
+// WESAD workload. For each backend it reports test accuracy, end-to-end
+// batch latency from raw features, the latency of the scoring stage alone
+// on pre-encoded queries — the stage the binary representation
+// word-parallelizes — and the class-memory footprint, the number the
+// wearable deployment scenario is sized by.
+func RunInferBench(opt Options) (*Table, error) {
+	q := opt.quality()
+	runs := opt.Runs
+	if runs < 1 {
+		runs = 1
+	}
+
+	// Accuracy is averaged over subject splits like the paper's other
+	// tables — a single ~200-row split carries +-1.5 points of noise,
+	// larger than the quantization effect being measured.
+	var fAccSum, bAccSum float64
+	var sp *split
+	var m *boosthd.Model
+	var fe, be *infer.Engine
+	for r := 0; r < runs; r++ {
+		cfg0 := opt.wesadConfig()
+		cfg0.Separability = 0.55
+		if opt.Quick {
+			cfg0.NumSubjects = 12
+			cfg0.SamplesPerState = 1536
+		}
+		var err error
+		sp, err = prepare(opt.applyOverrides(cfg0), opt.Seed+int64(r)*31)
+		if err != nil {
+			return nil, err
+		}
+		cfg := boosthd.DefaultConfig(q.HDDim, q.NL, sp.numClasses)
+		cfg.Epochs = q.HDEpochs
+		cfg.Seed = opt.Seed + int64(r)*17
+		m, err = boosthd.Train(sp.train.X, sp.train.Y, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fe = infer.NewEngine(m)
+		fAcc, err := fe.Evaluate(sp.test.X, sp.test.Y)
+		if err != nil {
+			return nil, err
+		}
+		be, err = infer.NewBinaryEngine(m)
+		if err != nil {
+			return nil, err
+		}
+		bAcc, err := be.Evaluate(sp.test.X, sp.test.Y)
+		if err != nil {
+			return nil, err
+		}
+		fAccSum += fAcc
+		bAccSum += bAcc
+	}
+	fAcc := fAccSum / float64(runs)
+	bAcc := bAccSum / float64(runs)
+
+	iters := 5
+	if opt.Quick {
+		iters = 3
+	}
+	n := len(sp.test.X)
+
+	// Latency, measured on the last trained model.
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := fe.PredictBatch(sp.test.X); err != nil {
+			return nil, err
+		}
+	}
+	fBatch := time.Since(start) / time.Duration(iters)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := be.PredictBatch(sp.test.X); err != nil {
+			return nil, err
+		}
+	}
+	bBatch := time.Since(start) / time.Duration(iters)
+	bin := be.Binary()
+
+	// Scoring stage alone, on pre-encoded queries.
+	hs, err := m.Enc.EncodeBatch(sp.test.X)
+	if err != nil {
+		return nil, err
+	}
+	qbits := make([][]*hdc.BitVector, n)
+	for i := range qbits {
+		qbits[i] = bin.NewQueryBits()
+	}
+	if err := m.EncodeSegmentBitsBatch(sp.test.X, qbits); err != nil {
+		return nil, err
+	}
+	scoreIters := iters * 20
+	start = time.Now()
+	sink := 0
+	for it := 0; it < scoreIters; it++ {
+		for i := range hs {
+			sink += m.PredictEncoded(hs[i])
+		}
+	}
+	fScore := time.Since(start) / time.Duration(scoreIters)
+	agg := make([]float64, sp.numClasses)
+	scores := make([]float64, sp.numClasses)
+	start = time.Now()
+	for it := 0; it < scoreIters; it++ {
+		for i := range qbits {
+			sink += bin.PredictBits(qbits[i], agg, scores)
+		}
+	}
+	bScore := time.Since(start) / time.Duration(scoreIters)
+	_ = sink
+
+	perSample := func(d time.Duration) string {
+		return fmt.Sprintf("%.1f", d.Seconds()/float64(n)*1e6)
+	}
+	floatBits := 0
+	for _, l := range m.Learners {
+		floatBits += len(l.Class) * l.Dim * 64
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Inference backends: BoostHD Dtotal=%d NL=%d on %s (%d test rows)",
+			q.HDDim, q.NL, sp.name, n),
+		Header: []string{"backend", "acc %", "batch ms", "us/sample", "score-only us/sample", "class memory"},
+	}
+	t.AddRow("float64 cosine", fmt.Sprintf("%.2f", fAcc*100),
+		fmt.Sprintf("%.2f", fBatch.Seconds()*1e3), perSample(fBatch),
+		perSample(fScore), fmt.Sprintf("%d KB", floatBits/8/1024))
+	t.AddRow("packed-binary Hamming", fmt.Sprintf("%.2f", bAcc*100),
+		fmt.Sprintf("%.2f", bBatch.Seconds()*1e3), perSample(bBatch),
+		perSample(bScore), fmt.Sprintf("%d KB", bin.Bits()/8/1024))
+	t.AddNote("binary vs float: %.1fx end-to-end, %.1fx on the scoring stage, %.0fx smaller class memory, accuracy gap %+.2f points",
+		fBatch.Seconds()/bBatch.Seconds(), fScore.Seconds()/bScore.Seconds(),
+		float64(floatBits)/float64(bin.Bits()), (bAcc-fAcc)*100)
+	return t, nil
+}

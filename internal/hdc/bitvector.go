@@ -100,6 +100,12 @@ func (b *BitVector) Ones() int {
 // Majority bundles binary hypervectors by per-bit majority vote; ties
 // (possible only for an even count) break toward zero. It returns nil for
 // no input.
+//
+// The vote runs word-parallel: for each 64-bit word position the set bits
+// of every input word are drained with popcount-style trailing-zero
+// extraction into 64 lane counters, then the winning lanes are packed back
+// into the output word. No per-bit Get/Set calls, and lanes that no input
+// sets cost nothing.
 func Majority(vs ...*BitVector) *BitVector {
 	if len(vs) == 0 {
 		return nil
@@ -109,17 +115,27 @@ func Majority(vs ...*BitVector) *BitVector {
 		mustSameDim(n, v.N)
 	}
 	out := NewBitVector(n)
-	half := len(vs) / 2
-	for i := 0; i < n; i++ {
-		cnt := 0
+	half := uint32(len(vs) / 2)
+	var cnt [64]uint32
+	for w := range out.Words {
+		for i := range cnt {
+			cnt[i] = 0
+		}
 		for _, v := range vs {
-			if v.Get(i) {
-				cnt++
+			word := v.Words[w]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				cnt[b]++
+				word &= word - 1
 			}
 		}
-		if cnt > half {
-			out.Set(i, true)
+		var res uint64
+		for b, c := range cnt {
+			if c > half {
+				res |= 1 << uint(b)
+			}
 		}
+		out.Words[w] = res
 	}
 	return out
 }

@@ -102,6 +102,50 @@ func TestHammingSim(t *testing.T) {
 	}
 }
 
+// majorityReference is the original per-bit implementation, kept as the
+// oracle for the word-parallel rewrite.
+func majorityReference(vs ...*BitVector) *BitVector {
+	if len(vs) == 0 {
+		return nil
+	}
+	n := vs[0].N
+	out := NewBitVector(n)
+	half := len(vs) / 2
+	for i := 0; i < n; i++ {
+		cnt := 0
+		for _, v := range vs {
+			if v.Get(i) {
+				cnt++
+			}
+		}
+		if cnt > half {
+			out.Set(i, true)
+		}
+	}
+	return out
+}
+
+// TestMajorityMatchesReference drives the word-parallel Majority against
+// the per-bit oracle over odd/even counts and tail-word dimensions.
+func TestMajorityMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{1, 63, 64, 65, 127, 1000} {
+		for _, count := range []int{1, 2, 3, 4, 7, 10, 21} {
+			vs := make([]*BitVector, count)
+			for i := range vs {
+				vs[i] = RandomBits(n, rng)
+			}
+			got := Majority(vs...)
+			want := majorityReference(vs...)
+			for w := range want.Words {
+				if got.Words[w] != want.Words[w] {
+					t.Fatalf("n=%d count=%d word %d: %x != %x", n, count, w, got.Words[w], want.Words[w])
+				}
+			}
+		}
+	}
+}
+
 func TestMajority(t *testing.T) {
 	a := NewBitVector(4)
 	b := NewBitVector(4)

@@ -1,0 +1,86 @@
+package infer
+
+import (
+	"testing"
+
+	"boosthd/internal/hdc"
+)
+
+// BenchmarkPredictBatchFloat measures the float engine end to end at
+// Dtotal=10000, NL=10 (raw features in, labels out).
+func BenchmarkPredictBatchFloat(b *testing.B) {
+	model, X, _ := fixture(b, 10000, 10)
+	e := NewEngine(model)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.PredictBatch(X); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(X)), "rows/op")
+}
+
+// BenchmarkPredictBatchBinary measures the packed-binary engine end to
+// end on the same workload: sign-only encoding plus Hamming scoring.
+func BenchmarkPredictBatchBinary(b *testing.B) {
+	model, X, _ := fixture(b, 10000, 10)
+	e, err := NewBinaryEngine(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.PredictBatch(X); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(X)), "rows/op")
+}
+
+// BenchmarkScoreEncodedFloat measures the float scoring stage alone:
+// cosine aggregation over pre-encoded full-width hypervectors.
+func BenchmarkScoreEncodedFloat(b *testing.B) {
+	model, X, _ := fixture(b, 10000, 10)
+	hs, err := model.Enc.EncodeBatch(X)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for _, h := range hs {
+			sink += model.PredictEncoded(h)
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(len(hs)), "rows/op")
+}
+
+// BenchmarkScoreEncodedBinary measures the packed-binary scoring stage
+// alone: XOR/popcount Hamming aggregation over pre-encoded sign bits —
+// the word-parallel form wearable hardware executes.
+func BenchmarkScoreEncodedBinary(b *testing.B) {
+	model, X, _ := fixture(b, 10000, 10)
+	bm, err := Quantize(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([][]*hdc.BitVector, len(X))
+	for i := range qs {
+		qs[i] = bm.NewQueryBits()
+	}
+	if err := model.EncodeSegmentBitsBatch(X, qs); err != nil {
+		b.Fatal(err)
+	}
+	agg := make([]float64, 3)
+	scores := make([]float64, 3)
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			sink += bm.PredictBits(q, agg, scores)
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(len(qs)), "rows/op")
+}

@@ -1,0 +1,327 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/hdc"
+	"boosthd/internal/par"
+)
+
+// popcount counts set bits (alias keeps the scoring loop terse).
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// QuantizeDrop is the fraction of each class hypervector's
+// lowest-magnitude components excluded from binary scoring. Sign bits
+// carry no magnitude, so the smallest components — mostly accumulated
+// noise — would vote with the same weight as the strongest ones;
+// masking the weakest quarter recovers most of the accuracy the plain
+// sign quantization loses (calibrated on the synthetic WESAD workload
+// across seeds).
+const QuantizeDrop = 0.25
+
+// quantization is one immutable snapshot of the ternary class memory:
+// sign planes, confidence masks, precomputed mask popcounts, and the
+// learner versions the snapshot was taken at. Snapshots are never
+// mutated after construction — refresh swaps in a whole new one — so
+// readers that load a snapshot can score against it without locks.
+type quantization struct {
+	class    [][]*hdc.BitVector // [learner][class] segment-local sign planes
+	mask     [][]*hdc.BitVector // [learner][class] confidence masks
+	maskOnes [][]float64        // popcount of each mask, precomputed
+	versions []uint64           // learner versions at quantization time
+}
+
+// BinaryModel is the packed-binary deployment form of a BoostHD ensemble:
+// every weak learner's class hypervectors quantized to a ternary packed
+// form — a sign plane (component >= 0) plus a confidence mask that keeps
+// the strongest 1-QuantizeDrop of components. A query is encoded directly
+// to its per-segment sign bits — the sign of each component is read off
+// the projection phase, skipping the trigonometric activation entirely —
+// and scored against the class memories by masked Hamming similarity over
+// 64-bit words (XOR, AND, popcount: the native word operations of
+// wearable-class hardware).
+//
+// The quantized memory is an atomically swapped snapshot keyed to the
+// learners' version counters: the predict paths re-threshold when the
+// float model mutated (Fit, fault injection), and concurrent callers
+// always score against a consistent snapshot.
+type BinaryModel struct {
+	model   *boosthd.Model
+	segDims []int // segment widths, learner-major
+
+	mu   sync.Mutex                   // serializes re-quantization
+	snap atomic.Pointer[quantization] // current snapshot; never nil
+}
+
+// quantizeLearner thresholds one learner's class vectors into sign and
+// mask planes of the snapshot under construction.
+func (qz *quantization) quantizeLearner(i int, class []hdc.Vector) {
+	qz.class[i] = make([]*hdc.BitVector, len(class))
+	qz.mask[i] = make([]*hdc.BitVector, len(class))
+	qz.maskOnes[i] = make([]float64, len(class))
+	abs := make([]float64, 0)
+	for c, cv := range class {
+		qz.class[i][c] = hdc.FromVector(cv)
+		abs = abs[:0]
+		for _, v := range cv {
+			abs = append(abs, math.Abs(v))
+		}
+		sorted := append([]float64(nil), abs...)
+		sort.Float64s(sorted)
+		thr := sorted[int(QuantizeDrop*float64(len(sorted)))]
+		mask := hdc.NewBitVector(len(cv))
+		ones := 0
+		for j, a := range abs {
+			if a > thr {
+				mask.Set(j, true)
+				ones++
+			}
+		}
+		if ones == 0 {
+			// Degenerate vector (all components equal): score every bit.
+			for j := range abs {
+				mask.Set(j, true)
+			}
+			ones = len(abs)
+		}
+		qz.mask[i][c] = mask
+		qz.maskOnes[i][c] = float64(ones)
+	}
+}
+
+// snapshot thresholds the model's current class memory.
+func snapshot(m *boosthd.Model) *quantization {
+	qz := &quantization{
+		class:    make([][]*hdc.BitVector, len(m.Learners)),
+		mask:     make([][]*hdc.BitVector, len(m.Learners)),
+		maskOnes: make([][]float64, len(m.Learners)),
+		versions: make([]uint64, len(m.Learners)),
+	}
+	for i, l := range m.Learners {
+		qz.versions[i] = l.Version()
+		qz.quantizeLearner(i, l.Class)
+	}
+	return qz
+}
+
+// Quantize converts a trained ensemble's class hypervectors into the
+// packed ternary model: sign plane plus confidence mask per class.
+func Quantize(m *boosthd.Model) (*BinaryModel, error) {
+	if len(m.Learners) == 0 {
+		return nil, fmt.Errorf("infer: quantize: model has no learners")
+	}
+	bm := &BinaryModel{model: m, segDims: make([]int, len(m.Learners))}
+	for i, l := range m.Learners {
+		bm.segDims[i] = l.Dim
+	}
+	bm.snap.Store(snapshot(m))
+	return bm, nil
+}
+
+// Stale reports whether any learner's class vectors changed (Fit, fault
+// injection) since the current snapshot was taken.
+func (bm *BinaryModel) Stale() bool {
+	qz := bm.snap.Load()
+	for i, l := range bm.model.Learners {
+		if l.Version() != qz.versions[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Refresh re-thresholds the class memories from the current float model,
+// atomically swapping in a new snapshot.
+func (bm *BinaryModel) Refresh() {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	bm.snap.Store(snapshot(bm.model))
+}
+
+// syncQuantization re-thresholds if the float model mutated since the
+// snapshot, so the binary backend never silently serves stale memories.
+// In-flight readers keep scoring their loaded snapshot; new calls see
+// the fresh one.
+func (bm *BinaryModel) syncQuantization() {
+	if !bm.Stale() {
+		return
+	}
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	if bm.Stale() { // double-check under the lock
+		bm.snap.Store(snapshot(bm.model))
+	}
+}
+
+// Bits returns the total size of the quantized class memory in bits —
+// sign plane plus confidence mask, two bits per stored component. This
+// is the number the wearable deployment scenario is sized by: a D=10000,
+// NL=10, 3-class ensemble stores ~7.3 KB where the float model stores
+// almost 2 MB as float64 or 469 KB as float32.
+func (bm *BinaryModel) Bits() int {
+	qz := bm.snap.Load()
+	total := 0
+	for i := range qz.class {
+		total += 2 * len(qz.class[i]) * bm.segDims[i]
+	}
+	return total
+}
+
+// NewQueryBits allocates the per-segment query buffers PredictBits
+// scores; reuse them across rows for allocation-free inference.
+func (bm *BinaryModel) NewQueryBits() []*hdc.BitVector {
+	out := make([]*hdc.BitVector, len(bm.segDims))
+	for i, d := range bm.segDims {
+		out[i] = hdc.NewBitVector(d)
+	}
+	return out
+}
+
+// EncodeBits encodes one raw feature vector into per-segment sign bits
+// (buffers from NewQueryBits).
+func (bm *BinaryModel) EncodeBits(x []float64, dst []*hdc.BitVector) error {
+	return bm.model.EncodeSegmentBits(x, dst)
+}
+
+// predictBits scores a query against one snapshot.
+func (bm *BinaryModel) predictBits(qz *quantization, q []*hdc.BitVector, agg, scores []float64) int {
+	classes := bm.model.Cfg.Classes
+	for c := 0; c < classes; c++ {
+		agg[c] = 0
+	}
+	score := bm.model.Cfg.Aggregation == boosthd.Score
+	for i, cls := range qz.class {
+		qi := q[i]
+		for c, cb := range cls {
+			mb := qz.mask[i][c]
+			dis := 0
+			for w, qw := range qi.Words {
+				dis += popcount((qw ^ cb.Words[w]) & mb.Words[w])
+			}
+			scores[c] = 1 - 2*float64(dis)/qz.maskOnes[i][c]
+		}
+		if score {
+			for c := 0; c < classes; c++ {
+				agg[c] += bm.model.Alphas[i] * scores[c]
+			}
+		} else {
+			vote := 0
+			for c := 1; c < classes; c++ {
+				if scores[c] > scores[vote] {
+					vote = c
+				}
+			}
+			agg[vote] += bm.model.Alphas[i]
+		}
+	}
+	best := 0
+	for c := 1; c < classes; c++ {
+		if agg[c] > agg[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictBits classifies a pre-encoded binary query: every learner scores
+// its segment by masked Hamming similarity against its ternary class
+// patterns — sim = 1 - 2*popcount((q XOR sign) AND mask)/popcount(mask) —
+// and the alpha-weighted aggregate follows the model's aggregation rule.
+// The agg and scores slices (length classes) are caller-owned scratch.
+func (bm *BinaryModel) PredictBits(q []*hdc.BitVector, agg, scores []float64) int {
+	return bm.predictBits(bm.snap.Load(), q, agg, scores)
+}
+
+// Predict classifies one raw feature vector, re-quantizing first if the
+// float model changed since the snapshot.
+func (bm *BinaryModel) Predict(x []float64) (int, error) {
+	bm.syncQuantization()
+	q := bm.NewQueryBits()
+	if err := bm.EncodeBits(x, q); err != nil {
+		return 0, err
+	}
+	classes := bm.model.Cfg.Classes
+	return bm.PredictBits(q, make([]float64, classes), make([]float64, classes)), nil
+}
+
+// predictBatchRows is the row-block size of the binary pipeline; blocks
+// feed the register-blocked sign-bit kernel (which runs sequentially on
+// the calling goroutine, so any block size is safe) and bound the
+// per-worker query-buffer scratch.
+const predictBatchRows = 32
+
+// PredictBatch classifies rows through the binary pipeline with
+// per-worker query buffers: blocks of rows are encoded to sign bits by
+// the register-blocked kernel and scored by popcount. A stale
+// quantization (float model mutated since the snapshot) is refreshed
+// first, and the whole batch scores against one consistent snapshot.
+func (bm *BinaryModel) PredictBatch(X [][]float64) ([]int, error) {
+	out := make([]int, len(X))
+	if len(X) == 0 {
+		return out, nil
+	}
+	bm.syncQuantization()
+	qz := bm.snap.Load()
+	classes := bm.model.Cfg.Classes
+	blocks := (len(X) + predictBatchRows - 1) / predictBatchRows
+	workers := par.Workers(blocks)
+	type scratch struct {
+		q           [][]*hdc.BitVector // [row in block][segment]
+		agg, scores []float64
+	}
+	scratches := make([]*scratch, workers)
+	err := par.ForEachWorker(blocks, func(w, blk int) error {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &scratch{
+				q:      make([][]*hdc.BitVector, predictBatchRows),
+				agg:    make([]float64, classes),
+				scores: make([]float64, classes),
+			}
+			for r := range sc.q {
+				sc.q[r] = bm.NewQueryBits()
+			}
+			scratches[w] = sc
+		}
+		lo := blk * predictBatchRows
+		hi := lo + predictBatchRows
+		if hi > len(X) {
+			hi = len(X)
+		}
+		if err := bm.model.EncodeSegmentBitsBatch(X[lo:hi], sc.q[:hi-lo]); err != nil {
+			return fmt.Errorf("infer: rows [%d,%d): %w", lo, hi, err)
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = bm.predictBits(qz, sc.q[i-lo], sc.agg, sc.scores)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Evaluate returns plain accuracy on a labeled set.
+func (bm *BinaryModel) Evaluate(X [][]float64, y []int) (float64, error) {
+	if len(X) != len(y) || len(y) == 0 {
+		return 0, fmt.Errorf("infer: bad evaluation set (%d rows, %d labels)", len(X), len(y))
+	}
+	pred, err := bm.PredictBatch(X)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y)), nil
+}

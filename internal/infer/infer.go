@@ -1,0 +1,103 @@
+// Package infer is the serving layer over trained BoostHD ensembles: one
+// Engine type that fronts the fused float batch pipeline and, after
+// Quantize, a packed-binary backend that stores the model as bit vectors
+// and scores queries with XOR/popcount Hamming similarity — the
+// representation wearable-class hardware executes natively.
+//
+// The float backend reproduces the historical inference path: scoring is
+// arithmetically bit-identical given the same encodings (pinned by the
+// legacy-path regression test), and the encoder's activation was
+// rewritten through an exact trigonometric identity, so encodings agree
+// to floating-point rounding. The binary backend trades a controlled
+// amount of accuracy for an order of magnitude less model memory and
+// word-parallel scoring, the deployment point of the paper's Section V
+// discussion.
+package infer
+
+import (
+	"fmt"
+
+	"boosthd/internal/boosthd"
+)
+
+// Backend selects the model representation an Engine scores with.
+type Backend int
+
+const (
+	// Float scores full-precision class hypervectors with cosine
+	// similarity — the paper's reference inference rule.
+	Float Backend = iota
+	// PackedBinary scores thresholded bit-vector class memories with
+	// Hamming similarity over packed 64-bit words.
+	PackedBinary
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case Float:
+		return "float"
+	case PackedBinary:
+		return "packed-binary"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Engine serves predictions from a trained BoostHD ensemble through a
+// selected backend. Engines are cheap to construct; the expensive state
+// (quantized class memories) lives in the BinaryModel built by Quantize.
+type Engine struct {
+	model   *boosthd.Model
+	backend Backend
+	bin     *BinaryModel
+}
+
+// NewEngine returns a float-backend engine over m.
+func NewEngine(m *boosthd.Model) *Engine {
+	return &Engine{model: m, backend: Float}
+}
+
+// NewBinaryEngine quantizes m and returns a packed-binary engine.
+func NewBinaryEngine(m *boosthd.Model) (*Engine, error) {
+	bin, err := Quantize(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{model: m, backend: PackedBinary, bin: bin}, nil
+}
+
+// Backend reports which representation the engine scores with.
+func (e *Engine) Backend() Backend { return e.backend }
+
+// Binary returns the quantized model backing a PackedBinary engine, or
+// nil for a float engine.
+func (e *Engine) Binary() *BinaryModel { return e.bin }
+
+// Model returns the underlying float ensemble.
+func (e *Engine) Model() *boosthd.Model { return e.model }
+
+// Predict classifies one raw feature vector.
+func (e *Engine) Predict(x []float64) (int, error) {
+	if e.backend == PackedBinary {
+		return e.bin.Predict(x)
+	}
+	return e.model.Predict(x)
+}
+
+// PredictBatch classifies rows through the backend's batch pipeline.
+func (e *Engine) PredictBatch(X [][]float64) ([]int, error) {
+	if e.backend == PackedBinary {
+		return e.bin.PredictBatch(X)
+	}
+	return e.model.PredictBatch(X)
+}
+
+// Evaluate returns plain accuracy on a labeled set through the selected
+// backend.
+func (e *Engine) Evaluate(X [][]float64, y []int) (float64, error) {
+	if e.backend == PackedBinary {
+		return e.bin.Evaluate(X, y)
+	}
+	return e.model.Evaluate(X, y)
+}

@@ -1,0 +1,321 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/faults"
+	"boosthd/internal/hdc"
+)
+
+// fixture trains a small fixed-seed ensemble and returns query rows.
+func fixture(t testing.TB, dim, nl int) (*boosthd.Model, [][]float64, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1234))
+	const n, features, classes = 300, 10, 3
+	// Each class gets its own random feature profile (as real sensor
+	// windows do), not a single shared shift direction.
+	centers := make([][]float64, classes)
+	for c := range centers {
+		mu := make([]float64, features)
+		for j := range mu {
+			mu[j] = rng.NormFloat64() * 1.2
+		}
+		centers[c] = mu
+	}
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := i % classes
+		row := make([]float64, features)
+		for j := range row {
+			row[j] = centers[c][j] + rng.NormFloat64()*0.8
+		}
+		X[i] = row
+		y[i] = c
+	}
+	// Z-score the features — the paper's protocol, and the regime the
+	// encoders' bandwidth heuristics are tuned for.
+	for j := 0; j < features; j++ {
+		var mean, sq float64
+		for i := range X {
+			mean += X[i][j]
+		}
+		mean /= float64(n)
+		for i := range X {
+			d := X[i][j] - mean
+			sq += d * d
+		}
+		std := 1.0
+		if sq > 0 {
+			std = math.Sqrt(sq / float64(n))
+		}
+		for i := range X {
+			X[i][j] = (X[i][j] - mean) / std
+		}
+	}
+	cfg := boosthd.DefaultConfig(dim, nl, classes)
+	cfg.Epochs = 4
+	cfg.Seed = 7
+	m, err := boosthd.Train(X[:200], y[:200], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, X[200:], y[200:]
+}
+
+// TestFloatEngineMatchesModel pins the float backend as a pass-through to
+// the model's fused pipeline.
+func TestFloatEngineMatchesModel(t *testing.T) {
+	m, X, y := fixture(t, 800, 8)
+	e := NewEngine(m)
+	if e.Backend() != Float || e.Binary() != nil || e.Model() != m {
+		t.Fatal("float engine wiring broken")
+	}
+	want, err := m.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: engine %d != model %d", i, got[i], want[i])
+		}
+	}
+	p, err := e.Predict(X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != want[0] {
+		t.Fatalf("Predict %d != PredictBatch %d", p, want[0])
+	}
+	acc, err := e.Evaluate(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 {
+		t.Fatalf("float accuracy %v suspiciously low on separable fixture", acc)
+	}
+}
+
+// TestQuantizeThresholdsClassVectors checks the ternary class memory:
+// the sign plane is the componentwise sign of the float model, and the
+// confidence mask keeps the strongest 1-QuantizeDrop of components.
+func TestQuantizeThresholdsClassVectors(t *testing.T) {
+	m, _, _ := fixture(t, 640, 8)
+	bm, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvs := m.ClassVectors()
+	qz := bm.snap.Load()
+	comps := 0
+	for i, learner := range cvs {
+		for c, cv := range learner {
+			want := hdc.FromVector(cv)
+			got := qz.class[i][c]
+			for w := range want.Words {
+				if got.Words[w] != want.Words[w] {
+					t.Fatalf("learner %d class %d word %d sign mismatch", i, c, w)
+				}
+			}
+			mask := qz.mask[i][c]
+			ones := mask.Ones()
+			if float64(ones) != qz.maskOnes[i][c] {
+				t.Fatalf("learner %d class %d: cached mask popcount %v != %d", i, c, qz.maskOnes[i][c], ones)
+			}
+			lo := int(float64(len(cv)) * (1 - QuantizeDrop - 0.05))
+			hi := int(float64(len(cv)) * (1 - QuantizeDrop + 0.05))
+			if ones < lo || ones > hi {
+				t.Fatalf("learner %d class %d: mask keeps %d of %d components, want ~%d",
+					i, c, ones, len(cv), int(float64(len(cv))*(1-QuantizeDrop)))
+			}
+			// Masked-in components must be at least as strong as every
+			// masked-out one.
+			var maxOut, minIn float64
+			minIn = math.MaxFloat64
+			for j, v := range cv {
+				a := math.Abs(v)
+				if mask.Get(j) {
+					if a < minIn {
+						minIn = a
+					}
+				} else if a > maxOut {
+					maxOut = a
+				}
+			}
+			if minIn < maxOut {
+				t.Fatalf("learner %d class %d: masked-in magnitude %v below masked-out %v", i, c, minIn, maxOut)
+			}
+			comps += len(cv)
+		}
+	}
+	if bm.Bits() != 2*comps {
+		t.Fatalf("Bits() = %d, want %d (sign + mask planes)", bm.Bits(), 2*comps)
+	}
+}
+
+// TestBinaryPredictConsistency checks single, batch, and pre-encoded
+// binary prediction agree, across batch sizes straddling the row blocks.
+func TestBinaryPredictConsistency(t *testing.T) {
+	m, X, _ := fixture(t, 640, 8)
+	bm, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 3, 4, 5, 33, 65, 100} {
+		sub := X[:n]
+		batch, err := bm.PredictBatch(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := bm.NewQueryBits()
+		agg := make([]float64, 3)
+		scores := make([]float64, 3)
+		for i, x := range sub {
+			single, err := bm.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch[i] != single {
+				t.Fatalf("n=%d row %d: batch %d != single %d", n, i, batch[i], single)
+			}
+			if err := bm.EncodeBits(x, q); err != nil {
+				t.Fatal(err)
+			}
+			if pre := bm.PredictBits(q, agg, scores); pre != single {
+				t.Fatalf("n=%d row %d: PredictBits %d != Predict %d", n, i, pre, single)
+			}
+		}
+	}
+}
+
+// TestBinaryAccuracyNearFloat pins the quantization quality on the
+// separable fixture: the packed-binary backend must track the float
+// backend closely.
+func TestBinaryAccuracyNearFloat(t *testing.T) {
+	m, X, y := fixture(t, 2000, 10)
+	fAcc, err := NewEngine(m).Evaluate(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := NewBinaryEngine(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAcc, err := be.Evaluate(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bAcc < fAcc-0.05 {
+		t.Fatalf("binary accuracy %.3f trails float %.3f by more than 5 points", bAcc, fAcc)
+	}
+}
+
+// TestBinaryStaleRefresh pins the version-counter coupling: fault
+// injection marks the quantization stale, Refresh re-thresholds.
+func TestBinaryStaleRefresh(t *testing.T) {
+	m, X, _ := fixture(t, 640, 8)
+	bm, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Stale() {
+		t.Fatal("fresh quantization must not be stale")
+	}
+	inj, err := faults.NewInjector(0.02, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips := m.InjectClassFaults(inj); flips == 0 {
+		t.Fatal("expected flips")
+	}
+	if !bm.Stale() {
+		t.Fatal("fault injection must mark the quantization stale")
+	}
+	bm.Refresh()
+	if bm.Stale() {
+		t.Fatal("Refresh must clear staleness")
+	}
+	// After refresh the class bits equal the signs of the faulted vectors.
+	fresh, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshQz := fresh.snap.Load()
+	bmQz := bm.snap.Load()
+	for i := range freshQz.class {
+		for c := range freshQz.class[i] {
+			for w := range freshQz.class[i][c].Words {
+				if bmQz.class[i][c].Words[w] != freshQz.class[i][c].Words[w] {
+					t.Fatal("Refresh did not re-threshold the faulted memory")
+				}
+			}
+		}
+	}
+	if _, err := bm.PredictBatch(X[:8]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineEvaluateValidation covers the error paths.
+func TestEngineEvaluateValidation(t *testing.T) {
+	m, X, y := fixture(t, 320, 4)
+	e := NewEngine(m)
+	if _, err := e.Evaluate(X, y[:1]); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := e.Evaluate(nil, nil); err == nil {
+		t.Fatal("expected empty-set error")
+	}
+	if _, err := Quantize(&boosthd.Model{}); err == nil {
+		t.Fatal("expected no-learner error")
+	}
+}
+
+// TestBinaryConcurrentServingWithFaults hammers the binary engine from
+// several goroutines while the float model mutates underneath — the
+// snapshot design must keep every scorer on a consistent quantization
+// (run with -race to catch torn planes).
+func TestBinaryConcurrentServingWithFaults(t *testing.T) {
+	m, X, _ := fixture(t, 320, 4)
+	bm, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := bm.PredictBatch(X[:40]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(33))
+	for k := 0; k < 20; k++ {
+		inj, err := faults.NewInjector(0.001, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.InjectClassFaults(inj)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -9,6 +9,7 @@ package onlinehd
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"boosthd/internal/ensemble"
 	"boosthd/internal/hdc"
@@ -17,11 +18,22 @@ import (
 // HVClassifier learns class hypervectors over pre-encoded inputs. BoostHD
 // trains one HVClassifier per dimension partition, feeding each a slice of
 // the shared encoding, so this layer never touches raw features.
+//
+// Inference caches the class-vector norms so scoring costs one dot product
+// per class instead of a dot product plus a norm. The cache is keyed to a
+// version counter: Fit bumps it when training rewrites the class vectors,
+// and any caller that mutates Class directly (fault injection flips bits
+// in place) must call Invalidate to bump it by hand.
 type HVClassifier struct {
 	Dim     int
 	Classes int
 	LR      float64
 	Class   []hdc.Vector // Classes hypervectors of length Dim
+
+	mu      sync.Mutex
+	version uint64    // incremented on every Class mutation (Fit, Invalidate)
+	normVer uint64    // version the cached norms were computed at
+	norms   []float64 // cached per-class Euclidean norms; nil until first use
 }
 
 // NewHVClassifier allocates a zeroed classifier.
@@ -42,34 +54,114 @@ func NewHVClassifier(dim, classes int, lr float64) (*HVClassifier, error) {
 	return c, nil
 }
 
+// Invalidate marks the class vectors as mutated, discarding the cached
+// norms. Call it after writing to Class outside Fit — e.g. after
+// fault-injection bit flips — or cosine scores will be computed against
+// stale norms.
+func (c *HVClassifier) Invalidate() {
+	c.mu.Lock()
+	c.version++
+	c.mu.Unlock()
+}
+
+// Version returns the mutation counter. Engines that hold state derived
+// from the class vectors (norm snapshots, quantized copies) compare it to
+// decide when to refresh.
+func (c *HVClassifier) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// ClassNorms returns the per-class Euclidean norms, recomputing them only
+// when the class vectors changed since the last call. The returned slice
+// is shared — callers must not modify it. Safe for concurrent use.
+func (c *HVClassifier) ClassNorms() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.norms == nil || c.normVer != c.version {
+		if c.norms == nil {
+			c.norms = make([]float64, c.Classes)
+		}
+		for l, cv := range c.Class {
+			c.norms[l] = hdc.Norm(cv)
+		}
+		c.normVer = c.version
+	}
+	return c.norms
+}
+
+// scoresWithNorms writes the cosine similarity of h to every class
+// hypervector into out, given precomputed class norms.
+func scoresWithNorms(h hdc.Vector, class []hdc.Vector, norms, out []float64) {
+	hn := hdc.Norm(h)
+	if hn == 0 {
+		for l := range out {
+			out[l] = 0
+		}
+		return
+	}
+	for l, cv := range class {
+		cn := norms[l]
+		if cn == 0 {
+			out[l] = 0
+			continue
+		}
+		out[l] = hdc.Dot(h, cv) / (hn * cn)
+	}
+}
+
+// ScoresInto writes the cosine similarity of h to every class hypervector
+// into out (length Classes) without allocating, using the cached class
+// norms.
+func (c *HVClassifier) ScoresInto(h hdc.Vector, out []float64) {
+	scoresWithNorms(h, c.Class, c.ClassNorms(), out)
+}
+
 // Scores returns the cosine similarity of h to every class hypervector.
 // The query norm is computed once and shared across classes.
 func (c *HVClassifier) Scores(h hdc.Vector) []float64 {
 	s := make([]float64, c.Classes)
+	c.ScoresInto(h, s)
+	return s
+}
+
+// scoresFresh recomputes the class norms inline — the training path, where
+// class vectors mutate between consecutive calls and the cache would
+// always be stale.
+func (c *HVClassifier) scoresFresh(h hdc.Vector, out []float64) {
 	hn := hdc.Norm(h)
 	if hn == 0 {
-		return s
+		for l := range out {
+			out[l] = 0
+		}
+		return
 	}
 	for l, cv := range c.Class {
 		cn := hdc.Norm(cv)
 		if cn == 0 {
+			out[l] = 0
 			continue
 		}
-		s[l] = hdc.Dot(h, cv) / (hn * cn)
+		out[l] = hdc.Dot(h, cv) / (hn * cn)
 	}
-	return s
 }
 
-// Predict returns the most similar class for h.
-func (c *HVClassifier) Predict(h hdc.Vector) int {
-	s := c.Scores(h)
+// argmax returns the index of the strictly greatest score, ties broken
+// toward the lowest index.
+func argmax(s []float64) int {
 	best := 0
-	for l := 1; l < c.Classes; l++ {
+	for l := 1; l < len(s); l++ {
 		if s[l] > s[best] {
 			best = l
 		}
 	}
 	return best
+}
+
+// Predict returns the most similar class for h.
+func (c *HVClassifier) Predict(h hdc.Vector) int {
+	return argmax(c.Scores(h))
 }
 
 // FitOptions tunes a training run over encoded samples.
@@ -111,6 +203,11 @@ func (c *HVClassifier) Fit(hs []hdc.Vector, y []int, opt FitOptions) error {
 	if opt.Bootstrap && opt.Rng == nil {
 		return fmt.Errorf("onlinehd: bootstrap requires an rng")
 	}
+	// Training rewrites the class vectors; whatever happens below, cached
+	// norm state must not survive.
+	defer c.Invalidate()
+
+	scratch := make([]float64, c.Classes)
 
 	// Pass 0 is the novelty-weighted single pass (onePass); the remaining
 	// epochs run the adaptive similarity-guided refinement. Starting
@@ -132,9 +229,9 @@ func (c *HVClassifier) Fit(hs []hdc.Vector, y []int, opt FitOptions) error {
 			}
 			for _, i := range idx {
 				if epoch == 0 {
-					c.onePass(hs[i], y[i], 1)
+					c.onePass(hs[i], y[i], 1, scratch)
 				} else {
-					c.update(hs[i], y[i], 1)
+					c.update(hs[i], y[i], 1, scratch)
 				}
 			}
 			continue
@@ -148,9 +245,9 @@ func (c *HVClassifier) Fit(hs []hdc.Vector, y []int, opt FitOptions) error {
 				continue
 			}
 			if epoch == 0 {
-				c.onePass(hs[i], y[i], scale)
+				c.onePass(hs[i], y[i], scale, scratch)
 			} else {
-				c.update(hs[i], y[i], scale)
+				c.update(hs[i], y[i], scale, scratch)
 			}
 		}
 	}
@@ -161,14 +258,9 @@ func (c *HVClassifier) Fit(hs []hdc.Vector, y []int, opt FitOptions) error {
 // the prediction is already correct; otherwise pull the true class toward
 // h by lr*(1-delta_true) and push the mispredicted class away by
 // lr*(1-delta_pred), both scaled by the sample weight.
-func (c *HVClassifier) update(h hdc.Vector, label int, scale float64) {
-	scores := c.Scores(h)
-	pred := 0
-	for l := 1; l < c.Classes; l++ {
-		if scores[l] > scores[pred] {
-			pred = l
-		}
-	}
+func (c *HVClassifier) update(h hdc.Vector, label int, scale float64, scores []float64) {
+	c.scoresFresh(h, scores)
+	pred := argmax(scores)
 	if pred == label {
 		return
 	}
@@ -181,31 +273,33 @@ func (c *HVClassifier) update(h hdc.Vector, label int, scale float64) {
 // misprediction the winning class is pushed away. Unlike the adaptive
 // rule it also reinforces correctly classified samples, which seeds the
 // class geometry the refinement epochs then sharpen.
-func (c *HVClassifier) onePass(h hdc.Vector, label int, scale float64) {
-	scores := c.Scores(h)
-	pred := 0
-	for l := 1; l < c.Classes; l++ {
-		if scores[l] > scores[pred] {
-			pred = l
-		}
-	}
+func (c *HVClassifier) onePass(h hdc.Vector, label int, scale float64, scores []float64) {
+	c.scoresFresh(h, scores)
+	pred := argmax(scores)
 	c.Class[label].BundleScaled(h, c.LR*scale*(1-scores[label]))
 	if pred != label {
 		c.Class[pred].BundleScaled(h, -c.LR*scale*(1-scores[pred]))
 	}
 }
 
-// PredictBatch classifies a batch of encoded samples sequentially.
+// PredictBatch classifies a batch of encoded samples sequentially, reusing
+// one scratch buffer and the cached class norms.
 func (c *HVClassifier) PredictBatch(hs []hdc.Vector) []int {
 	out := make([]int, len(hs))
+	if len(hs) == 0 {
+		return out
+	}
+	norms := c.ClassNorms()
+	scores := make([]float64, c.Classes)
 	for i, h := range hs {
-		out[i] = c.Predict(h)
+		scoresWithNorms(h, c.Class, norms, scores)
+		out[i] = argmax(scores)
 	}
 	return out
 }
 
 // Clone returns a deep copy (used by fault-injection experiments so trials
-// never corrupt the trained model).
+// never corrupt the trained model). Cache state is not carried over.
 func (c *HVClassifier) Clone() *HVClassifier {
 	out := &HVClassifier{Dim: c.Dim, Classes: c.Classes, LR: c.LR, Class: make([]hdc.Vector, c.Classes)}
 	for i, cv := range c.Class {

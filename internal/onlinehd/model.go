@@ -3,11 +3,10 @@ package onlinehd
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"boosthd/internal/encoding"
 	"boosthd/internal/hdc"
+	"boosthd/internal/par"
 )
 
 // Config mirrors the paper's Section IV OnlineHD setup: nonlinear Gaussian
@@ -99,51 +98,57 @@ func (m *Model) Scores(x []float64) ([]float64, error) {
 	return m.HV.Scores(h), nil
 }
 
-// PredictBatch classifies rows in parallel across GOMAXPROCS workers.
+// predictBatchRows is the block size of the fused encode+score pipeline:
+// each worker encodes a block of rows into its own reusable buffer and
+// scores it before moving on, so memory stays bounded and encodings are
+// consumed while still cache resident. It equals the encoder's row-block
+// granularity so the nested EncodeBatchInto runs on the worker's own
+// goroutine (one block = one work unit, no nested pool).
+const predictBatchRows = encoding.BatchRowBlock
+
+// PredictBatch classifies rows with the fused batch pipeline: blocks of
+// rows are encoded into per-worker buffers (blocked projection, no
+// per-row allocation) and scored against the cached class norms.
 func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
 	out := make([]int, len(X))
 	if len(X) == 0 {
 		return out, nil
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(X) {
-		workers = len(X)
+	D := m.Cfg.Dim
+	norms := m.HV.ClassNorms()
+	blocks := (len(X) + predictBatchRows - 1) / predictBatchRows
+	workers := par.Workers(blocks)
+	type scratch struct {
+		buf    []float64
+		scores []float64
 	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		next  int
-		fatal error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if fatal != nil || next >= len(X) {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				p, err := m.Predict(X[i])
-				if err != nil {
-					mu.Lock()
-					if fatal == nil {
-						fatal = fmt.Errorf("onlinehd: row %d: %w", i, err)
-					}
-					mu.Unlock()
-					return
-				}
-				out[i] = p
+	scratches := make([]*scratch, workers)
+	err := par.ForEachWorker(blocks, func(w, blk int) error {
+		sc := scratches[w]
+		if sc == nil {
+			sc = &scratch{
+				buf:    make([]float64, predictBatchRows*D),
+				scores: make([]float64, m.Cfg.Classes),
 			}
-		}()
-	}
-	wg.Wait()
-	if fatal != nil {
-		return nil, fatal
+			scratches[w] = sc
+		}
+		lo := blk * predictBatchRows
+		hi := lo + predictBatchRows
+		if hi > len(X) {
+			hi = len(X)
+		}
+		if err := m.Enc.EncodeBatchInto(X[lo:hi], sc.buf, D, 0); err != nil {
+			return fmt.Errorf("onlinehd: rows [%d,%d): %w", lo, hi, err)
+		}
+		for i := lo; i < hi; i++ {
+			h := hdc.Vector(sc.buf[(i-lo)*D : (i-lo+1)*D])
+			scoresWithNorms(h, m.HV.Class, norms, sc.scores)
+			out[i] = argmax(sc.scores)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,101 @@
+// Package par provides the shared data-parallel loop used by every batch
+// stage of the inference engine: encoding rows, scoring encodings, and
+// evaluating ensembles. It replaces the hand-rolled worker pools that used
+// to live in encoding, onlinehd, and boosthd with one implementation that
+// hands out index chunks (amortizing synchronization) and gives each
+// worker a stable id so callers can maintain per-worker scratch buffers.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the worker count for n independent items: GOMAXPROCS
+// capped by n, never below 1.
+func Workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// chunk picks the dynamic-scheduling grain for n items over w workers:
+// small enough to balance uneven work, large enough that the shared
+// counter isn't contended per item.
+func chunk(n, w int) int {
+	c := n / (w * 8)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ForEach runs fn(i) for every i in [0,n) across Workers(n) goroutines.
+// The first error cancels remaining work (in-flight items still finish)
+// and is returned. fn must be safe for concurrent invocation on distinct
+// indices.
+func ForEach(n int, fn func(i int) error) error {
+	return ForEachWorker(n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker id (0 <= worker < Workers(n))
+// passed through, so callers can index per-worker scratch state without
+// synchronization.
+func ForEachWorker(n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	grain := chunk(n, workers)
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		next  int
+		fatal error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if fatal != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				lo := next
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				next = hi
+				mu.Unlock()
+				for i := lo; i < hi; i++ {
+					if err := fn(worker, i); err != nil {
+						mu.Lock()
+						if fatal == nil {
+							fatal = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return fatal
+}

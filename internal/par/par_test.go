@@ -1,0 +1,96 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		hits := make([]int32, n)
+		if err := ForEach(n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(100, func(i int) error {
+		if i == 41 {
+			return fmt.Errorf("row %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+}
+
+func TestForEachWorkerIDsAreDisjoint(t *testing.T) {
+	n := 500
+	workers := Workers(n)
+	// Each worker id must stay within [0, workers) and two goroutines must
+	// never share an id concurrently (per-worker scratch depends on it).
+	inUse := make([]int32, workers)
+	err := ForEachWorker(n, func(w, i int) error {
+		if w < 0 || w >= workers {
+			return fmt.Errorf("worker id %d outside [0,%d)", w, workers)
+		}
+		if atomic.AddInt32(&inUse[w], 1) != 1 {
+			return fmt.Errorf("worker id %d used concurrently", w)
+		}
+		defer atomic.AddInt32(&inUse[w], -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachErrorStopsScheduling(t *testing.T) {
+	var calls int64
+	boom := errors.New("early")
+	_ = ForEach(100000, func(i int) error {
+		atomic.AddInt64(&calls, 1)
+		return boom
+	})
+	if c := atomic.LoadInt64(&calls); c >= 100000 {
+		t.Fatalf("error did not stop scheduling: %d calls", c)
+	}
+}
+
+func TestForEachConcurrentWrites(t *testing.T) {
+	n := 2048
+	out := make([]int, n)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	if err := ForEach(n, func(i int) error {
+		out[i] = i * i
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d distinct indices, want %d", len(seen), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
