@@ -193,17 +193,23 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 	return m, nil
 }
 
-// classNorms snapshots every learner's cached class-vector norms,
-// learner-major. The snapshot is taken once per batch; the per-learner
-// caches refresh themselves when their version counter says the class
-// vectors changed (Fit, fault injection via InjectClassFaults or
-// InvalidateCaches).
-func (m *Model) classNorms() [][]float64 {
-	norms := make([][]float64, len(m.Learners))
+// pinLearners pins every learner's class vectors and norm cache for the
+// duration of a batch, returning the learner-major norm snapshots and an
+// unpin func. While pinned, mutators (Fit, InjectClassFaults) block, so
+// the whole batch scores against one consistent model memory. Learners
+// are pinned in index order and writers hold at most one learner's lock
+// at a time, so concurrent pins cannot deadlock.
+func (m *Model) pinLearners() (norms [][]float64, unpin func()) {
+	norms = make([][]float64, len(m.Learners))
+	unpins := make([]func(), len(m.Learners))
 	for i, l := range m.Learners {
-		norms[i] = l.ClassNorms()
+		norms[i], unpins[i] = l.PinClass()
 	}
-	return norms
+	return norms, func() {
+		for _, u := range unpins {
+			u()
+		}
+	}
 }
 
 // inferScratch is the per-worker scoring state: reused across every row a
@@ -312,9 +318,29 @@ func (m *Model) classifyEncoded(h hdc.Vector, norms [][]float64, sc *inferScratc
 }
 
 // PredictEncoded classifies a full-width encoded hypervector by combining
-// the weak learners over their dimension segments.
+// the weak learners over their dimension segments. It pins the learners
+// and allocates scratch per call; loops over many pre-encoded queries
+// should hoist that through EncodedPredictor instead.
 func (m *Model) PredictEncoded(h hdc.Vector) int {
-	return m.classifyEncoded(h, m.classNorms(), m.newInferScratch())
+	norms, unpin := m.pinLearners()
+	defer unpin()
+	return m.classifyEncoded(h, norms, m.newInferScratch())
+}
+
+// EncodedPredictor pins the learners' class memories and returns a
+// sequential predictor over pre-encoded hypervectors plus a release func.
+// The norm snapshots and scoring scratch are hoisted out of the returned
+// closure, so each call is allocation- and lock-free — the scoring-stage
+// equivalent of what PredictBatch does per worker, and the path
+// score-only measurements must use to compare fairly against the binary
+// backend's PredictBits. The predictor is not safe for concurrent use;
+// release must be called exactly once, and mutators block until then.
+func (m *Model) EncodedPredictor() (predict func(h hdc.Vector) int, release func()) {
+	norms, unpin := m.pinLearners()
+	sc := m.newInferScratch()
+	return func(h hdc.Vector) int {
+		return m.classifyEncoded(h, norms, sc)
+	}, unpin
 }
 
 // Predict classifies one raw feature vector.
@@ -337,14 +363,17 @@ const predictBatchRows = encoding.BatchRowBlock
 
 // PredictBatch classifies rows through the fused pipeline — the
 // inference-phase parallelism the paper highlights, without the per-row
-// encode and score allocations the naive path pays.
+// encode and score allocations the naive path pays. The learners' class
+// memories are pinned for the whole batch: concurrent Fit or fault
+// injection waits, and every row scores against one consistent model.
 func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
 	out := make([]int, len(X))
 	if len(X) == 0 {
 		return out, nil
 	}
 	D := m.Cfg.TotalDim
-	norms := m.classNorms()
+	norms, unpin := m.pinLearners()
+	defer unpin()
 	blocks := (len(X) + predictBatchRows - 1) / predictBatchRows
 	workers := par.Workers(blocks)
 	type worker struct {
@@ -468,7 +497,10 @@ func (m *Model) EncodeSegmentBitsBatch(X [][]float64, dst [][]*hdc.BitVector) er
 
 // InvalidateCaches discards every learner's derived scoring state (cached
 // class-vector norms). Call it after mutating class vectors through
-// ClassVectors or any other direct write.
+// ClassVectors or any other direct write. Direct writes are themselves
+// unsynchronized — only safe with no serving in flight; mutation that
+// overlaps serving must go through InjectClassFaults or
+// HVClassifier.MutateClass.
 func (m *Model) InvalidateCaches() {
 	for _, l := range m.Learners {
 		l.Invalidate()
@@ -478,14 +510,18 @@ func (m *Model) InvalidateCaches() {
 // InjectClassFaults flips bits in every learner's class hypervectors under
 // the injector's per-bit probability — the paper's Figure 8 reliability
 // protocol — and invalidates the norm caches so subsequent scoring sees
-// the corrupted memory. It returns the total number of flipped bits.
+// the corrupted memory. Each learner is mutated under its write lock, so
+// the flips synchronize with concurrent serving (batch scorers and binary
+// re-quantization see either the old or the new memory, never a torn
+// one). It returns the total number of flipped bits.
 func (m *Model) InjectClassFaults(inj *faults.Injector) int {
 	flips := 0
 	for _, l := range m.Learners {
-		for _, cv := range l.Class {
-			flips += inj.InjectFloat32(cv)
-		}
-		l.Invalidate()
+		l.MutateClass(func(class []hdc.Vector) {
+			for _, cv := range class {
+				flips += inj.InjectFloat32(cv)
+			}
+		})
 	}
 	return flips
 }

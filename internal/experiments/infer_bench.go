@@ -104,15 +104,22 @@ func RunInferBench(opt Options) (*Table, error) {
 	if err := m.EncodeSegmentBitsBatch(sp.test.X, qbits); err != nil {
 		return nil, err
 	}
+	// Both sides score allocation-free with hoisted per-loop state: the
+	// float path through EncodedPredictor (pinned norms + reused scratch,
+	// what PredictBatch does per worker) against the binary path's reused
+	// query buffers — so the ratio isolates the scoring arithmetic rather
+	// than per-call allocation overhead.
 	scoreIters := iters * 20
+	predictEncoded, release := m.EncodedPredictor()
 	start = time.Now()
 	sink := 0
 	for it := 0; it < scoreIters; it++ {
 		for i := range hs {
-			sink += m.PredictEncoded(hs[i])
+			sink += predictEncoded(hs[i])
 		}
 	}
 	fScore := time.Since(start) / time.Duration(scoreIters)
+	release()
 	agg := make([]float64, sp.numClasses)
 	scores := make([]float64, sp.numClasses)
 	start = time.Now()

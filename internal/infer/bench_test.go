@@ -38,18 +38,22 @@ func BenchmarkPredictBatchBinary(b *testing.B) {
 }
 
 // BenchmarkScoreEncodedFloat measures the float scoring stage alone:
-// cosine aggregation over pre-encoded full-width hypervectors.
+// cosine aggregation over pre-encoded full-width hypervectors, with norms
+// and scratch hoisted through EncodedPredictor so the loop is
+// allocation-free like the binary side's PredictBits.
 func BenchmarkScoreEncodedFloat(b *testing.B) {
 	model, X, _ := fixture(b, 10000, 10)
 	hs, err := model.Enc.EncodeBatch(X)
 	if err != nil {
 		b.Fatal(err)
 	}
+	predict, release := model.EncodedPredictor()
+	defer release()
 	b.ResetTimer()
 	sink := 0
 	for i := 0; i < b.N; i++ {
 		for _, h := range hs {
-			sink += model.PredictEncoded(h)
+			sink += predict(h)
 		}
 	}
 	_ = sink

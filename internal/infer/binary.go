@@ -60,21 +60,29 @@ type BinaryModel struct {
 }
 
 // quantizeLearner thresholds one learner's class vectors into sign and
-// mask planes of the snapshot under construction.
+// mask planes of the snapshot under construction. The mask is selected by
+// rank, not by value comparison: exactly the top len-floor(QuantizeDrop*len)
+// components by magnitude are kept, boundary ties broken toward the lowest
+// index, so tied or constant vectors never over-drop past the intended
+// fraction.
 func (qz *quantization) quantizeLearner(i int, class []hdc.Vector) {
 	qz.class[i] = make([]*hdc.BitVector, len(class))
 	qz.mask[i] = make([]*hdc.BitVector, len(class))
 	qz.maskOnes[i] = make([]float64, len(class))
 	abs := make([]float64, 0)
+	sorted := make([]float64, 0)
 	for c, cv := range class {
 		qz.class[i][c] = hdc.FromVector(cv)
 		abs = abs[:0]
 		for _, v := range cv {
 			abs = append(abs, math.Abs(v))
 		}
-		sorted := append([]float64(nil), abs...)
+		keep := len(abs) - int(QuantizeDrop*float64(len(abs)))
+		sorted = append(sorted[:0], abs...)
 		sort.Float64s(sorted)
-		thr := sorted[int(QuantizeDrop*float64(len(sorted)))]
+		// Strictly-above-threshold components number fewer than keep;
+		// components tied with the threshold fill the remaining quota.
+		thr := sorted[len(sorted)-keep]
 		mask := hdc.NewBitVector(len(cv))
 		ones := 0
 		for j, a := range abs {
@@ -83,19 +91,24 @@ func (qz *quantization) quantizeLearner(i int, class []hdc.Vector) {
 				ones++
 			}
 		}
-		if ones == 0 {
-			// Degenerate vector (all components equal): score every bit.
-			for j := range abs {
-				mask.Set(j, true)
+		for j, a := range abs {
+			if ones == keep {
+				break
 			}
-			ones = len(abs)
+			if a == thr {
+				mask.Set(j, true)
+				ones++
+			}
 		}
 		qz.mask[i][c] = mask
 		qz.maskOnes[i][c] = float64(ones)
 	}
 }
 
-// snapshot thresholds the model's current class memory.
+// snapshot thresholds the model's current class memory. Each learner is
+// quantized under its read lock via ReadClass, so the snapshot records a
+// consistent (version, vectors) pair per learner even while Fit or fault
+// injection mutates the float model on other goroutines.
 func snapshot(m *boosthd.Model) *quantization {
 	qz := &quantization{
 		class:    make([][]*hdc.BitVector, len(m.Learners)),
@@ -104,8 +117,10 @@ func snapshot(m *boosthd.Model) *quantization {
 		versions: make([]uint64, len(m.Learners)),
 	}
 	for i, l := range m.Learners {
-		qz.versions[i] = l.Version()
-		qz.quantizeLearner(i, l.Class)
+		l.ReadClass(func(class []hdc.Vector, version uint64) {
+			qz.versions[i] = version
+			qz.quantizeLearner(i, class)
+		})
 	}
 	return qz
 }

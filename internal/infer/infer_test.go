@@ -3,6 +3,7 @@ package infer
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -264,6 +265,54 @@ func TestBinaryStaleRefresh(t *testing.T) {
 	}
 }
 
+// TestQuantizeMaskRankSelection pins the rank-based confidence mask:
+// exactly len-floor(QuantizeDrop*len) components survive, regardless of
+// magnitude ties at the selection boundary or fully constant vectors —
+// the cases where a value-threshold comparison over-drops.
+func TestQuantizeMaskRankSelection(t *testing.T) {
+	cases := []struct {
+		name string
+		cv   hdc.Vector
+	}{
+		{"distinct small dim", hdc.Vector{1, -2, 3, -4}},
+		{"boundary ties", hdc.Vector{1, -1, 1, -1, 2, -2, 3, 3}},
+		{"all equal", hdc.Vector{0.5, 0.5, -0.5, 0.5, -0.5, 0.5, 0.5, -0.5}},
+	}
+	for _, tc := range cases {
+		qz := &quantization{
+			class:    make([][]*hdc.BitVector, 1),
+			mask:     make([][]*hdc.BitVector, 1),
+			maskOnes: make([][]float64, 1),
+		}
+		qz.quantizeLearner(0, []hdc.Vector{tc.cv})
+		keep := len(tc.cv) - int(QuantizeDrop*float64(len(tc.cv)))
+		mask := qz.mask[0][0]
+		if ones := mask.Ones(); ones != keep {
+			t.Errorf("%s: mask keeps %d of %d components, want exactly %d",
+				tc.name, ones, len(tc.cv), keep)
+		}
+		if qz.maskOnes[0][0] != float64(keep) {
+			t.Errorf("%s: cached popcount %v, want %d", tc.name, qz.maskOnes[0][0], keep)
+		}
+		// No kept component may be weaker than a dropped one.
+		var maxOut, minIn float64
+		minIn = math.MaxFloat64
+		for j, v := range tc.cv {
+			a := math.Abs(v)
+			if mask.Get(j) {
+				if a < minIn {
+					minIn = a
+				}
+			} else if a > maxOut {
+				maxOut = a
+			}
+		}
+		if minIn < maxOut {
+			t.Errorf("%s: masked-in magnitude %v below masked-out %v", tc.name, minIn, maxOut)
+		}
+	}
+}
+
 // TestEngineEvaluateValidation covers the error paths.
 func TestEngineEvaluateValidation(t *testing.T) {
 	m, X, y := fixture(t, 320, 4)
@@ -282,8 +331,13 @@ func TestEngineEvaluateValidation(t *testing.T) {
 // TestBinaryConcurrentServingWithFaults hammers the binary engine from
 // several goroutines while the float model mutates underneath — the
 // snapshot design must keep every scorer on a consistent quantization
-// (run with -race to catch torn planes).
+// (run with -race to catch torn planes). GOMAXPROCS is forced up so the
+// mutator genuinely overlaps the scorers even on single-CPU CI boxes.
 func TestBinaryConcurrentServingWithFaults(t *testing.T) {
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	m, X, _ := fixture(t, 320, 4)
 	bm, err := Quantize(m)
 	if err != nil {

@@ -112,6 +112,76 @@ func TestInvalidateRefreshesNormsAfterDirectMutation(t *testing.T) {
 	}
 }
 
+// TestClassNormsSnapshotImmutable pins the copy-on-refresh contract: a
+// slice returned by ClassNorms keeps its values forever, even after the
+// class vectors mutate and the cache refreshes — so a batch scorer that
+// snapshotted the norms never sees them rewritten mid-batch.
+func TestClassNormsSnapshotImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	c, err := NewHVClassifier(48, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, y := randomTrainingSet(rng, 60, 48, 3)
+	if err := c.Fit(hs, y, FitOptions{Epochs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	old := c.ClassNorms()
+	frozen := append([]float64(nil), old...)
+
+	// Mutate through MutateClass (version bump included) and refresh.
+	c.MutateClass(func(class []hdc.Vector) {
+		for j := range class[0] {
+			class[0][j] *= 4
+		}
+	})
+	fresh := c.ClassNorms()
+	for l := range frozen {
+		if old[l] != frozen[l] {
+			t.Fatalf("refresh rewrote previously returned norms: class %d %v -> %v", l, frozen[l], old[l])
+		}
+	}
+	if &fresh[0] == &old[0] {
+		t.Fatal("refresh must allocate a new snapshot, not reuse the backing array")
+	}
+	if math.Abs(fresh[0]-4*frozen[0]) > 1e-9*frozen[0] {
+		t.Fatalf("fresh norm %v, want ~%v", fresh[0], 4*frozen[0])
+	}
+	for l, want := range freshNorms(c) {
+		if fresh[l] != want {
+			t.Fatalf("class %d refreshed norm %v != fresh %v", l, fresh[l], want)
+		}
+	}
+}
+
+// TestReadClassConsistentPair checks ReadClass hands fn the version the
+// vectors are actually at: a mutation between two reads changes both.
+func TestReadClassConsistentPair(t *testing.T) {
+	c, err := NewHVClassifier(8, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1, v2 uint64
+	var first float64
+	c.ReadClass(func(class []hdc.Vector, version uint64) {
+		v1 = version
+		first = class[0][0]
+	})
+	c.MutateClass(func(class []hdc.Vector) { class[0][0] = 42 })
+	c.ReadClass(func(class []hdc.Vector, version uint64) {
+		v2 = version
+		if class[0][0] != 42 {
+			t.Fatalf("ReadClass saw %v after MutateClass wrote 42", class[0][0])
+		}
+	})
+	if v2 != v1+1 {
+		t.Fatalf("MutateClass bumped version %d -> %d, want +1", v1, v2)
+	}
+	if first == 42 {
+		t.Fatal("first read unexpectedly saw the mutation")
+	}
+}
+
 // TestScoresIntoMatchesScores checks the allocation-free path and the
 // allocating wrapper agree exactly.
 func TestScoresIntoMatchesScores(t *testing.T) {

@@ -21,19 +21,25 @@ import (
 //
 // Inference caches the class-vector norms so scoring costs one dot product
 // per class instead of a dot product plus a norm. The cache is keyed to a
-// version counter: Fit bumps it when training rewrites the class vectors,
-// and any caller that mutates Class directly (fault injection flips bits
-// in place) must call Invalidate to bump it by hand.
+// version counter that Fit and MutateClass bump when the class vectors
+// change.
+//
+// Concurrency: mu guards the class-vector contents, the version counter,
+// and the norm cache. Mutators either go through Fit/MutateClass (which
+// hold the write lock) or write Class directly from a quiescent state and
+// call Invalidate by hand; concurrent readers pin the vectors with
+// ReadClass/PinClass so serving can overlap safely with fault injection
+// and retraining.
 type HVClassifier struct {
 	Dim     int
 	Classes int
 	LR      float64
 	Class   []hdc.Vector // Classes hypervectors of length Dim
 
-	mu      sync.Mutex
-	version uint64    // incremented on every Class mutation (Fit, Invalidate)
+	mu      sync.RWMutex
+	version uint64    // incremented on every Class mutation (Fit, MutateClass, Invalidate)
 	normVer uint64    // version the cached norms were computed at
-	norms   []float64 // cached per-class Euclidean norms; nil until first use
+	norms   []float64 // immutable norm snapshot; replaced on refresh, never rewritten
 }
 
 // NewHVClassifier allocates a zeroed classifier.
@@ -55,40 +61,91 @@ func NewHVClassifier(dim, classes int, lr float64) (*HVClassifier, error) {
 }
 
 // Invalidate marks the class vectors as mutated, discarding the cached
-// norms. Call it after writing to Class outside Fit — e.g. after
-// fault-injection bit flips — or cosine scores will be computed against
-// stale norms.
+// norms. Call it after writing to Class outside Fit/MutateClass — or
+// cosine scores will be computed against stale norms. The write itself is
+// unsynchronized: direct Class writes plus Invalidate are only safe from
+// a quiescent state (no concurrent readers); mutation that must overlap
+// with serving goes through MutateClass.
 func (c *HVClassifier) Invalidate() {
 	c.mu.Lock()
 	c.version++
 	c.mu.Unlock()
 }
 
+// MutateClass runs fn over the class hypervectors under the write lock
+// and bumps the version counter, establishing happens-before with
+// concurrent readers (ReadClass, PinClass, ClassNorms and the scoring
+// paths built on them). In-place mutators that can race with serving —
+// fault injection above all — must use this instead of writing Class
+// directly.
+func (c *HVClassifier) MutateClass(fn func(class []hdc.Vector)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn(c.Class)
+	c.version++
+}
+
+// ReadClass runs fn over the class hypervectors and the version they are
+// at, under the read lock: fn observes a consistent (version, vectors)
+// pair even while MutateClass or Fit runs on other goroutines. fn must
+// not retain the vectors past its return or call back into methods that
+// take the write lock.
+func (c *HVClassifier) ReadClass(fn func(class []hdc.Vector, version uint64)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fn(c.Class, c.version)
+}
+
 // Version returns the mutation counter. Engines that hold state derived
 // from the class vectors (norm snapshots, quantized copies) compare it to
 // decide when to refresh.
 func (c *HVClassifier) Version() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.version
 }
 
 // ClassNorms returns the per-class Euclidean norms, recomputing them only
-// when the class vectors changed since the last call. The returned slice
-// is shared — callers must not modify it. Safe for concurrent use.
+// when the class vectors changed since the last call. Each refresh
+// allocates a fresh slice, so the returned value is an immutable snapshot:
+// it stays internally consistent for as long as the caller holds it, even
+// across later mutations and refreshes. Safe for concurrent use.
 func (c *HVClassifier) ClassNorms() []float64 {
+	c.mu.RLock()
+	if c.norms != nil && c.normVer == c.version {
+		norms := c.norms
+		c.mu.RUnlock()
+		return norms
+	}
+	c.mu.RUnlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.norms == nil || c.normVer != c.version {
-		if c.norms == nil {
-			c.norms = make([]float64, c.Classes)
-		}
+		norms := make([]float64, c.Classes)
 		for l, cv := range c.Class {
-			c.norms[l] = hdc.Norm(cv)
+			norms[l] = hdc.Norm(cv)
 		}
+		c.norms = norms
 		c.normVer = c.version
 	}
 	return c.norms
+}
+
+// PinClass read-locks the class vectors after making sure the norm cache
+// matches them, returning the pinned norm snapshot and an unpin func.
+// Until unpin is called no mutator can touch the vectors, so batch scorers
+// can read Class and the norms coherently for a whole batch. The read lock
+// may be released from a different goroutine than took it, but unpin must
+// be called exactly once.
+func (c *HVClassifier) PinClass() (norms []float64, unpin func()) {
+	for {
+		c.ClassNorms() // refresh outside the read lock (may take the write lock)
+		c.mu.RLock()
+		if c.norms != nil && c.normVer == c.version {
+			return c.norms, c.mu.RUnlock
+		}
+		c.mu.RUnlock() // mutated between refresh and pin; retry
+	}
 }
 
 // scoresWithNorms writes the cosine similarity of h to every class
@@ -113,9 +170,12 @@ func scoresWithNorms(h hdc.Vector, class []hdc.Vector, norms, out []float64) {
 
 // ScoresInto writes the cosine similarity of h to every class hypervector
 // into out (length Classes) without allocating, using the cached class
-// norms.
+// norms. The vectors are pinned for the duration of the call, so the
+// scores are coherent even against concurrent mutation.
 func (c *HVClassifier) ScoresInto(h hdc.Vector, out []float64) {
-	scoresWithNorms(h, c.Class, c.ClassNorms(), out)
+	norms, unpin := c.PinClass()
+	defer unpin()
+	scoresWithNorms(h, c.Class, norms, out)
 }
 
 // Scores returns the cosine similarity of h to every class hypervector.
@@ -203,9 +263,14 @@ func (c *HVClassifier) Fit(hs []hdc.Vector, y []int, opt FitOptions) error {
 	if opt.Bootstrap && opt.Rng == nil {
 		return fmt.Errorf("onlinehd: bootstrap requires an rng")
 	}
-	// Training rewrites the class vectors; whatever happens below, cached
-	// norm state must not survive.
-	defer c.Invalidate()
+	// Training rewrites the class vectors: hold the write lock for the
+	// whole run so concurrent readers never see a half-trained memory, and
+	// bump the version on the way out so no cached norm state survives.
+	c.mu.Lock()
+	defer func() {
+		c.version++
+		c.mu.Unlock()
+	}()
 
 	scratch := make([]float64, c.Classes)
 
@@ -283,13 +348,16 @@ func (c *HVClassifier) onePass(h hdc.Vector, label int, scale float64, scores []
 }
 
 // PredictBatch classifies a batch of encoded samples sequentially, reusing
-// one scratch buffer and the cached class norms.
+// one scratch buffer and the cached class norms. The class vectors are
+// pinned for the whole batch, so every row scores against one consistent
+// memory.
 func (c *HVClassifier) PredictBatch(hs []hdc.Vector) []int {
 	out := make([]int, len(hs))
 	if len(hs) == 0 {
 		return out
 	}
-	norms := c.ClassNorms()
+	norms, unpin := c.PinClass()
+	defer unpin()
 	scores := make([]float64, c.Classes)
 	for i, h := range hs {
 		scoresWithNorms(h, c.Class, norms, scores)
@@ -302,6 +370,8 @@ func (c *HVClassifier) PredictBatch(hs []hdc.Vector) []int {
 // never corrupt the trained model). Cache state is not carried over.
 func (c *HVClassifier) Clone() *HVClassifier {
 	out := &HVClassifier{Dim: c.Dim, Classes: c.Classes, LR: c.LR, Class: make([]hdc.Vector, c.Classes)}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for i, cv := range c.Class {
 		out.Class[i] = cv.Clone()
 	}

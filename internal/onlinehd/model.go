@@ -108,14 +108,16 @@ const predictBatchRows = encoding.BatchRowBlock
 
 // PredictBatch classifies rows with the fused batch pipeline: blocks of
 // rows are encoded into per-worker buffers (blocked projection, no
-// per-row allocation) and scored against the cached class norms.
+// per-row allocation) and scored against the class memory, which stays
+// pinned — consistent under concurrent mutation — for the whole batch.
 func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
 	out := make([]int, len(X))
 	if len(X) == 0 {
 		return out, nil
 	}
 	D := m.Cfg.Dim
-	norms := m.HV.ClassNorms()
+	norms, unpin := m.HV.PinClass()
+	defer unpin()
 	blocks := (len(X) + predictBatchRows - 1) / predictBatchRows
 	workers := par.Workers(blocks)
 	type scratch struct {
