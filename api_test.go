@@ -1,7 +1,9 @@
 package boosthd_test
 
 import (
+	"bytes"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"boosthd"
@@ -114,5 +116,94 @@ func TestFaultInjectorExported(t *testing.T) {
 	}
 	if _, err := boosthd.NewFaultInjector(-1, rng); err == nil {
 		t.Error("expected pb validation error")
+	}
+}
+
+// TestServingFacade drives the checkpoint + serving exports end to end:
+// save/load both checkpoint formats, start a micro-batching server, and
+// hot-swap between backends under a few concurrent requests.
+func TestServingFacade(t *testing.T) {
+	cfg := boosthd.SynthConfig{
+		Name:            "api-serve",
+		NumSubjects:     5,
+		SamplesPerState: 512,
+		SmoothWindow:    30,
+		WindowSize:      128,
+		WindowStep:      64,
+		Separability:    0.9,
+		SensorNoise:     0.3,
+		LabelNoise:      0.02,
+		Seed:            6,
+	}
+	data, subjects, err := boosthd.BuildSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, _, err := boosthd.SubjectSplit(data, subjects, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(800, 4, data.NumClasses))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Float checkpoint round trip.
+	var ckpt bytes.Buffer
+	if err := model.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := boosthd.LoadModel(&ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Binary snapshot round trip.
+	bm, err := boosthd.Quantize(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := bm.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := boosthd.LoadBinaryModel(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := boosthd.NewServer(boosthd.NewEngine(loaded), boosthd.ServeConfig{MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	want, err := loaded.Predict(test.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Predict(test.X[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("served %d, direct %d", got, want)
+	}
+	if err := srv.Swap(boosthd.NewEngineFromBinary(cold)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := srv.Predict(test.X[i%len(test.X)]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.Backend != "packed-binary" || st.Swaps != 1 || st.Served < 9 {
+		t.Fatalf("stats after swap: %+v", st)
 	}
 }

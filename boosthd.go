@@ -19,12 +19,15 @@
 package boosthd
 
 import (
+	"io"
+
 	core "boosthd/internal/boosthd"
 	"boosthd/internal/dataset"
 	"boosthd/internal/encoding"
 	"boosthd/internal/faults"
 	"boosthd/internal/infer"
 	"boosthd/internal/onlinehd"
+	"boosthd/internal/serve"
 	"boosthd/internal/signal"
 	"boosthd/internal/synth"
 )
@@ -169,3 +172,46 @@ func NewBinaryEngine(m *Model) (*Engine, error) { return infer.NewBinaryEngine(m
 
 // Quantize thresholds a trained ensemble into its packed-binary form.
 func Quantize(m *Model) (*BinaryModel, error) { return infer.Quantize(m) }
+
+// NewEngineFromBinary wraps a cold-loaded binary snapshot in a
+// packed-binary serving engine.
+func NewEngineFromBinary(bm *BinaryModel) *Engine { return infer.NewEngineFromBinary(bm) }
+
+// LoadModel reads a BoostHD ensemble checkpoint written by Model.Save.
+// Checkpoints are versioned: foreign or newer-format blobs fail loudly,
+// and class vectors install through the learners' lock-aware mutation
+// API, so a reload into a serving process is always coherent.
+func LoadModel(r io.Reader) (*Model, error) { return core.Load(r) }
+
+// LoadOnlineHD reads an OnlineHD checkpoint written by OnlineHD.Save.
+func LoadOnlineHD(r io.Reader) (*OnlineHD, error) { return onlinehd.Load(r) }
+
+// LoadBinaryModel reads a quantized binary snapshot written by
+// BinaryModel.Save. The result serves without re-quantization and
+// without the float class memory (see BinaryModel.Frozen).
+func LoadBinaryModel(r io.Reader) (*BinaryModel, error) { return infer.LoadBinary(r) }
+
+// Server is the production serving layer: an adaptive micro-batcher
+// that coalesces concurrent Predict calls into the engine's fused batch
+// pipeline, with atomic hot-swap between checkpoints.
+type Server = serve.Server
+
+// ServeConfig tunes the micro-batcher (max batch, straggler wait,
+// worker count, queue depth).
+type ServeConfig = serve.Config
+
+// ServeStats is a point-in-time snapshot of a Server's counters.
+type ServeStats = serve.Stats
+
+// NewServer starts a serving layer over an inference engine.
+func NewServer(eng *Engine, cfg ServeConfig) (*Server, error) { return serve.NewServer(eng, cfg) }
+
+// NewServeHandler exposes a Server over HTTP/JSON (/predict,
+// /predict_batch, /healthz, /swap).
+var NewServeHandler = serve.Handler
+
+// LoadServeEngine builds a serving engine from a checkpoint file:
+// "float" for the ensemble checkpoint, "binary" for a quantized engine
+// (from a binary snapshot directly, or by quantizing a float
+// checkpoint).
+var LoadServeEngine = serve.LoadEngine

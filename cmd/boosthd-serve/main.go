@@ -1,0 +1,125 @@
+// Command boosthd-serve runs the HTTP/JSON serving layer over a trained
+// BoostHD model: concurrent /predict requests are coalesced by the
+// adaptive micro-batcher into the engine's fused batch pipeline, and
+// /swap hot-loads a new checkpoint without dropping in-flight requests.
+//
+// Usage:
+//
+//	boosthd-serve [-addr :8080] [-checkpoint model.bhde] [-backend float|binary]
+//	              [-max-batch 64] [-max-wait 200us] [-workers N]
+//
+// -checkpoint accepts a float ensemble checkpoint (written by
+// Model.Save / cmd/boosthd -save) or, with -backend binary, a quantized
+// binary snapshot (BinaryModel.Save) that cold-loads without
+// re-quantization. Without -checkpoint the server trains a demo model on
+// the synthetic WESAD workload so the endpoints can be exercised
+// immediately.
+//
+// Endpoints:
+//
+//	POST /predict        {"features":[...]}                      -> {"label":n}
+//	POST /predict_batch  {"rows":[[...],...]}                    -> {"labels":[...]}
+//	GET  /healthz                                                -> serving stats
+//	POST /swap           {"checkpoint":"path","backend":"float"} -> swap report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/infer"
+	"boosthd/internal/serve"
+	"boosthd/internal/signal"
+	"boosthd/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	checkpoint := flag.String("checkpoint", "", "model checkpoint to serve (empty = train a synthetic demo model)")
+	backend := flag.String("backend", "float", "serving backend: float or binary")
+	maxBatch := flag.Int("max-batch", 0, "micro-batcher max coalesced rows (0 = default 64)")
+	maxWait := flag.Duration("max-wait", 0, "micro-batcher straggler wait (0 = default 200us)")
+	workers := flag.Int("workers", 0, "batch executor goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	var (
+		eng *infer.Engine
+		err error
+	)
+	if *checkpoint != "" {
+		eng, err = serve.LoadEngine(*checkpoint, *backend)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("serving checkpoint %s on the %s backend\n", *checkpoint, eng.Backend())
+	} else {
+		eng, err = demoEngine(*backend)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("serving synthetic WESAD demo model on the %s backend\n", eng.Backend())
+	}
+
+	srv, err := serve.NewServer(eng, serve.Config{
+		MaxBatch: *maxBatch,
+		MaxWait:  *maxWait,
+		Workers:  *workers,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+	cfg := srv.Config()
+	fmt.Printf("micro-batcher: max-batch %d, max-wait %v, %d workers\n",
+		cfg.MaxBatch, cfg.MaxWait, cfg.Workers)
+	fmt.Printf("listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, serve.Handler(srv)); err != nil {
+		fail(err)
+	}
+}
+
+// demoEngine trains a small ensemble on the synthetic WESAD workload so
+// the server is usable without a checkpoint file.
+func demoEngine(backend string) (*infer.Engine, error) {
+	cfg := synth.WESADConfig()
+	cfg.NumSubjects = 12
+	cfg.SamplesPerState = 1536
+	data, roster, err := synth.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	train, _, _, err := synth.SubjectSplit(data, roster, 0.3, 11)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := signal.FitNormalizer(train.X, signal.ZScore)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := norm.Apply(train.X); err != nil {
+		return nil, err
+	}
+	mcfg := boosthd.DefaultConfig(10000, 10, data.NumClasses)
+	mcfg.Epochs = 5
+	m, err := boosthd.Train(train.X, train.Y, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(backend) {
+	case "", "float":
+		return infer.NewEngine(m), nil
+	case "binary", "packed-binary":
+		return infer.NewBinaryEngine(m)
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want float or binary)", backend)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "boosthd-serve:", err)
+	os.Exit(1)
+}

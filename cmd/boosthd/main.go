@@ -8,10 +8,15 @@
 //	        [-backend float|binary]
 //	        [-dim 10000] [-nl 10] [-epochs 20] [-runs 3] [-seed 7]
 //	        [-subjects N] [-samples N]
+//	        [-save model.bhde] [-save-binary model.bhdb]
 //
 // -backend selects the BoostHD serving engine: float cosine scoring, or
 // the packed-binary backend that quantizes the trained model to bit
 // vectors and scores by Hamming similarity.
+//
+// -save writes the last run's trained BoostHD ensemble as a float
+// checkpoint; -save-binary writes its quantized binary snapshot. Both
+// feed cmd/boosthd-serve.
 //
 // Each run draws a fresh subject-wise split, normalizes features with
 // training statistics, trains the requested model, and reports accuracy
@@ -21,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -50,6 +56,8 @@ func main() {
 	seed := flag.Int64("seed", 7, "base random seed")
 	subjects := flag.Int("subjects", 0, "override subject count (0 = dataset default)")
 	samples := flag.Int("samples", 0, "override raw samples per state (0 = dataset default)")
+	savePath := flag.String("save", "", "write the trained BoostHD ensemble checkpoint here (boosthd only)")
+	saveBinaryPath := flag.String("save-binary", "", "write the quantized binary snapshot here (boosthd only)")
 	flag.Parse()
 
 	switch strings.ToLower(*backend) {
@@ -59,6 +67,12 @@ func main() {
 	}
 	if !strings.EqualFold(*backend, "float") && *backend != "" && !strings.EqualFold(*modelName, "boosthd") {
 		fail(fmt.Errorf("-backend %s applies only to -model boosthd", *backend))
+	}
+	if (*savePath != "" || *saveBinaryPath != "") && !strings.EqualFold(*modelName, "boosthd") {
+		fail(fmt.Errorf("-save/-save-binary apply only to -model boosthd"))
+	}
+	if *runs < 1 {
+		fail(fmt.Errorf("-runs must be >= 1, got %d", *runs))
 	}
 	cfg, err := datasetConfig(*datasetName)
 	if err != nil {
@@ -78,6 +92,7 @@ func main() {
 		cfg.Name, data.Len(), data.NumFeatures(), len(roster), data.NumClasses)
 
 	var accs, trainTimes, inferTimes []float64
+	var lastTrained *boosthd.Model
 	for r := 0; r < *runs; r++ {
 		splitSeed := *seed + int64(r)
 		train, test, _, err := synth.SubjectSplit(data, roster, 0.3, splitSeed)
@@ -102,11 +117,12 @@ func main() {
 		}
 
 		start := time.Now()
-		predict, err := trainModel(*modelName, *backend, train, *dim, *nl, *epochs, splitSeed)
+		predict, trained, err := trainModel(*modelName, *backend, train, *dim, *nl, *epochs, splitSeed)
 		if err != nil {
 			fail(err)
 		}
 		trainDur := time.Since(start)
+		lastTrained = trained
 
 		start = time.Now()
 		pred, err := predict(test.X)
@@ -128,6 +144,36 @@ func main() {
 	fmt.Printf("\n%s on %s over %d runs: accuracy %s  train %.2fs  inference %.1f us/sample\n",
 		*modelName, cfg.Name, *runs, stats.Summarize(accs).String(),
 		stats.Mean(trainTimes), stats.Mean(inferTimes))
+
+	if *savePath != "" {
+		if err := writeCheckpoint(*savePath, lastTrained.Save); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote ensemble checkpoint %s\n", *savePath)
+	}
+	if *saveBinaryPath != "" {
+		bm, err := infer.Quantize(lastTrained)
+		if err != nil {
+			fail(err)
+		}
+		if err := writeCheckpoint(*saveBinaryPath, bm.Save); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote binary snapshot %s\n", *saveBinaryPath)
+	}
+}
+
+// writeCheckpoint saves through an (io.Writer) error serializer into path.
+func writeCheckpoint(path string, save func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func datasetConfig(name string) (synth.Config, error) {
@@ -145,7 +191,7 @@ func datasetConfig(name string) (synth.Config, error) {
 
 type predictor func([][]float64) ([]int, error)
 
-func trainModel(name, backend string, train *dataset.Dataset, dim, nl, epochs int, seed int64) (predictor, error) {
+func trainModel(name, backend string, train *dataset.Dataset, dim, nl, epochs int, seed int64) (predictor, *boosthd.Model, error) {
 	classes := train.NumClasses
 	switch strings.ToLower(name) {
 	case "boosthd":
@@ -154,19 +200,19 @@ func trainModel(name, backend string, train *dataset.Dataset, dim, nl, epochs in
 		cfg.Seed = seed
 		m, err := boosthd.Train(train.X, train.Y, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch strings.ToLower(backend) {
 		case "", "float":
-			return infer.NewEngine(m).PredictBatch, nil
+			return infer.NewEngine(m).PredictBatch, m, nil
 		case "binary", "packed-binary":
 			eng, err := infer.NewBinaryEngine(m)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return eng.PredictBatch, nil
+			return eng.PredictBatch, m, nil
 		default:
-			return nil, fmt.Errorf("unknown backend %q", backend)
+			return nil, nil, fmt.Errorf("unknown backend %q", backend)
 		}
 	case "onlinehd":
 		cfg := onlinehd.DefaultConfig(dim, classes)
@@ -174,39 +220,39 @@ func trainModel(name, backend string, train *dataset.Dataset, dim, nl, epochs in
 		cfg.Seed = seed
 		m, err := onlinehd.Train(train.X, train.Y, nil, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return m.PredictBatch, nil
+		return m.PredictBatch, nil, nil
 	case "adaboost":
 		cfg := ensemble.DefaultAdaBoostConfig()
 		cfg.Seed = seed
 		m, err := ensemble.FitAdaBoost(train.X, train.Y, classes, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil
+		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil, nil
 	case "rf":
 		cfg := forest.DefaultConfig()
 		cfg.Seed = seed
 		m, err := forest.Fit(train.X, train.Y, classes, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil
+		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil, nil
 	case "xgboost":
 		m, err := gbdt.Fit(train.X, train.Y, classes, gbdt.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil
+		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil, nil
 	case "svm":
 		cfg := svm.DefaultConfig()
 		cfg.Seed = seed
 		m, err := svm.Fit(train.X, train.Y, classes, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil
+		return func(X [][]float64) ([]int, error) { return m.PredictBatch(X), nil }, nil, nil
 	case "dnn":
 		cfg := nn.DefaultConfig(classes)
 		cfg.Hidden = []int{256, 128, 64} // tractable CPU width; -model dnn is not the paper-width timing path
@@ -214,14 +260,14 @@ func trainModel(name, backend string, train *dataset.Dataset, dim, nl, epochs in
 		cfg.Seed = seed
 		m, err := nn.New(train.NumFeatures(), cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := m.Fit(train.X, train.Y); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return m.PredictBatch, nil
+		return m.PredictBatch, nil, nil
 	default:
-		return nil, fmt.Errorf("unknown model %q", name)
+		return nil, nil, fmt.Errorf("unknown model %q", name)
 	}
 }
 

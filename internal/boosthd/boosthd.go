@@ -425,6 +425,13 @@ func (m *Model) Evaluate(X [][]float64, y []int) (float64, error) {
 	return float64(correct) / float64(len(y)), nil
 }
 
+// InputDim returns the raw feature width the encoders were built for.
+func (m *Model) InputDim() int { return m.inputDim }
+
+// Gamma returns the resolved base kernel bandwidth used at training time
+// (checkpoint formats rebuild the encoder stack from it).
+func (m *Model) Gamma() float64 { return m.gamma }
+
 // Segments returns the dimension partition as (lo, hi) pairs.
 func (m *Model) Segments() [][2]int {
 	out := make([][2]int, len(m.segs))

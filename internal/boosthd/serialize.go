@@ -8,12 +8,15 @@ import (
 
 	"boosthd/internal/hdc"
 	"boosthd/internal/onlinehd"
+	"boosthd/internal/wire"
 )
 
 // ensembleWire is the gob wire format of a trained BoostHD ensemble. Like
 // the OnlineHD format it ships only the learned state — the encoder stack
 // is rebuilt deterministically from the configuration and the stored
-// base bandwidth.
+// base bandwidth. On disk the gob stream is framed by a
+// wire.MagicEnsemble + version header; blobs written before the header
+// existed load through the legacy path.
 type ensembleWire struct {
 	Cfg    Config
 	InDim  int
@@ -22,72 +25,107 @@ type ensembleWire struct {
 	Class  [][]hdc.Vector // [learner][class]
 }
 
-// Save serializes the ensemble to w in gob format.
+// Save serializes the ensemble to w in framed gob format. Each learner's
+// class hypervectors are deep-copied under that learner's read lock, so a
+// save that overlaps Fit or InjectClassFaults on other goroutines records
+// a consistent per-learner snapshot — never a torn vector, and never an
+// aliased one that later mutation could reach. The slow gob encode runs
+// after every lock is released.
 func (m *Model) Save(w io.Writer) error {
-	wire := ensembleWire{
+	ew := ensembleWire{
 		Cfg:    m.Cfg,
 		InDim:  m.inputDim,
 		Gamma:  m.gamma,
-		Alphas: m.Alphas,
+		Alphas: append([]float64(nil), m.Alphas...),
 		Class:  make([][]hdc.Vector, len(m.Learners)),
 	}
 	for i, l := range m.Learners {
-		wire.Class[i] = l.Class
+		l.ReadClass(func(class []hdc.Vector, _ uint64) {
+			cp := make([]hdc.Vector, len(class))
+			for c, cv := range class {
+				cp[c] = cv.Clone()
+			}
+			ew.Class[i] = cp
+		})
 	}
-	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
+	if err := wire.WriteHeader(w, wire.MagicEnsemble); err != nil {
+		return fmt.Errorf("boosthd: save: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(&ew); err != nil {
 		return fmt.Errorf("boosthd: save: %w", err)
 	}
 	return nil
 }
 
-// Load reconstructs an ensemble previously written by Save.
-func Load(r io.Reader) (*Model, error) {
-	var wire ensembleWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("boosthd: load: %w", err)
+// Rehydrate builds an untrained model shell for a stored configuration:
+// the encoder stack and dimension partition reconstructed from (cfg,
+// inDim, gamma), zeroed learners, no alphas. Checkpoint loaders populate
+// the learned state afterwards; the binary-snapshot loader serves from
+// the shell directly (it only needs the encoder, partition, and config).
+func Rehydrate(cfg Config, inDim int, gamma float64) (*Model, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("boosthd: invalid stored gamma %v", gamma)
 	}
-	cfg := wire.Cfg
-	if wire.Gamma <= 0 {
-		return nil, fmt.Errorf("boosthd: load: invalid stored gamma %v", wire.Gamma)
+	if cfg.NumLearners < 1 {
+		return nil, fmt.Errorf("boosthd: invalid stored learner count %d", cfg.NumLearners)
 	}
-	enc, err := newSpreadEncoder(wire.InDim, cfg, wire.Gamma)
+	if cfg.TotalDim < cfg.NumLearners {
+		return nil, fmt.Errorf("boosthd: stored TotalDim %d < NumLearners %d", cfg.TotalDim, cfg.NumLearners)
+	}
+	enc, err := newSpreadEncoder(inDim, cfg, gamma)
 	if err != nil {
-		return nil, fmt.Errorf("boosthd: load: %w", err)
-	}
-	if len(wire.Class) != cfg.NumLearners {
-		return nil, fmt.Errorf("boosthd: load: %d learner states for %d learners",
-			len(wire.Class), cfg.NumLearners)
-	}
-	if len(wire.Alphas) != cfg.NumLearners {
-		return nil, fmt.Errorf("boosthd: load: %d alphas for %d learners",
-			len(wire.Alphas), cfg.NumLearners)
+		return nil, fmt.Errorf("boosthd: %w", err)
 	}
 	m := &Model{
 		Cfg:      cfg,
 		Enc:      enc,
-		Alphas:   wire.Alphas,
 		Learners: make([]*onlinehd.HVClassifier, cfg.NumLearners),
 		segs:     partition(cfg.TotalDim, cfg.NumLearners),
-		gamma:    wire.Gamma,
-		inputDim: wire.InDim,
+		gamma:    gamma,
+		inputDim: inDim,
 	}
-	for i, class := range wire.Class {
+	for i := range m.Learners {
 		dim := m.segs[i].hi - m.segs[i].lo
 		hv, err := onlinehd.NewHVClassifier(dim, cfg.Classes, cfg.LR)
 		if err != nil {
-			return nil, fmt.Errorf("boosthd: load: %w", err)
+			return nil, fmt.Errorf("boosthd: learner %d: %w", i, err)
 		}
-		if len(class) != cfg.Classes {
-			return nil, fmt.Errorf("boosthd: load: learner %d has %d class vectors", i, len(class))
-		}
-		for c, cv := range class {
-			if len(cv) != dim {
-				return nil, fmt.Errorf("boosthd: load: learner %d class %d dim %d, want %d",
-					i, c, len(cv), dim)
-			}
-		}
-		hv.Class = class
 		m.Learners[i] = hv
+	}
+	return m, nil
+}
+
+// Load reconstructs an ensemble previously written by Save. Class vectors
+// are installed through each learner's lock-aware SetClass, which bumps
+// the norm-cache version — a model loaded in place of one already shared
+// with serving goroutines can never serve stale cached norms.
+func Load(r io.Reader) (*Model, error) {
+	_, body, err := wire.ReadHeader(r, wire.MagicEnsemble)
+	if err != nil {
+		return nil, fmt.Errorf("boosthd: load: %w", err)
+	}
+	var ew ensembleWire
+	if err := gob.NewDecoder(body).Decode(&ew); err != nil {
+		return nil, fmt.Errorf("boosthd: load: %w", err)
+	}
+	cfg := ew.Cfg
+	if len(ew.Class) != cfg.NumLearners {
+		return nil, fmt.Errorf("boosthd: load: %d learner states for %d learners",
+			len(ew.Class), cfg.NumLearners)
+	}
+	if len(ew.Alphas) != cfg.NumLearners {
+		return nil, fmt.Errorf("boosthd: load: %d alphas for %d learners",
+			len(ew.Alphas), cfg.NumLearners)
+	}
+	m, err := Rehydrate(cfg, ew.InDim, ew.Gamma)
+	if err != nil {
+		return nil, fmt.Errorf("boosthd: load: %w", err)
+	}
+	m.Alphas = ew.Alphas
+	for i, class := range ew.Class {
+		if err := m.Learners[i].SetClass(class); err != nil {
+			return nil, fmt.Errorf("boosthd: load: learner %d: %w", i, err)
+		}
 	}
 	return m, nil
 }

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/infer"
+	"boosthd/internal/serve"
+)
+
+// serveLoadResult aggregates one load-generation cell.
+type serveLoadResult struct {
+	throughput float64 // requests per second
+	p50, p99   time.Duration
+}
+
+// runServeLoad hammers predict with `clients` concurrent goroutines for
+// roughly the given duration and reports sustained throughput with
+// latency percentiles.
+func runServeLoad(predict func(x []float64) (int, error), rows [][]float64, clients int, dur time.Duration) (serveLoadResult, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr error
+	)
+	stop := make(chan struct{})
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					mu.Lock()
+					lats = append(lats, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := predict(rows[(c*31+i)%len(rows)]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					lats = append(lats, local...)
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+		}(c)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return serveLoadResult{}, firstErr
+	}
+	if len(lats) == 0 {
+		return serveLoadResult{}, fmt.Errorf("experiments: no requests completed")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(lats)-1))
+		return lats[idx]
+	}
+	return serveLoadResult{
+		throughput: float64(len(lats)) / elapsed.Seconds(),
+		p50:        pct(0.50),
+		p99:        pct(0.99),
+	}, nil
+}
+
+// RunServeBench produces the serving-layer load table: for the float and
+// packed-binary backends at 1/8/64 concurrent clients it compares direct
+// per-request engine calls against the micro-batched serving path,
+// reporting sustained throughput and p50/p99 latency. The acceptance
+// target is the batched/direct throughput ratio at high concurrency on
+// the binary backend, where request coalescing feeds the register-blocked
+// batch kernels instead of paying the per-row projection sweep.
+func RunServeBench(opt Options) (*Table, error) {
+	q := opt.quality()
+	cfg0 := opt.wesadConfig()
+	cfg0.Separability = 0.55
+	if opt.Quick {
+		cfg0.NumSubjects = 12
+		cfg0.SamplesPerState = 1536
+	}
+	sp, err := prepare(opt.applyOverrides(cfg0), opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := boosthd.DefaultConfig(q.HDDim, q.NL, sp.numClasses)
+	cfg.Epochs = q.HDEpochs
+	cfg.Seed = opt.Seed
+	m, err := boosthd.Train(sp.train.X, sp.train.Y, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fe := infer.NewEngine(m)
+	be, err := infer.NewBinaryEngine(m)
+	if err != nil {
+		return nil, err
+	}
+
+	dur := time.Second
+	if opt.Quick {
+		dur = 300 * time.Millisecond
+	}
+	clientCounts := []int{1, 8, 64}
+	t := &Table{
+		Title: fmt.Sprintf("Serving layer: micro-batched vs direct, BoostHD Dtotal=%d NL=%d on %s",
+			q.HDDim, q.NL, sp.name),
+		Header: []string{"backend", "clients", "mode", "req/s", "p50 ms", "p99 ms", "batched/direct"},
+	}
+	type backend struct {
+		name string
+		eng  *infer.Engine
+	}
+	var binSpeedup64 float64
+	for _, b := range []backend{{"float", fe}, {"packed-binary", be}} {
+		for _, clients := range clientCounts {
+			direct, err := runServeLoad(b.eng.Predict, sp.test.X, clients, dur)
+			if err != nil {
+				return nil, err
+			}
+			srv, err := serve.NewServer(b.eng, serve.Config{})
+			if err != nil {
+				return nil, err
+			}
+			batched, err := runServeLoad(srv.Predict, sp.test.X, clients, dur)
+			srv.Close()
+			if err != nil {
+				return nil, err
+			}
+			speedup := batched.throughput / direct.throughput
+			if b.name == "packed-binary" && clients == 64 {
+				binSpeedup64 = speedup
+			}
+			ms := func(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()*1e3) }
+			t.AddRow(b.name, fmt.Sprint(clients), "direct",
+				fmt.Sprintf("%.0f", direct.throughput), ms(direct.p50), ms(direct.p99), "")
+			t.AddRow(b.name, fmt.Sprint(clients), "batched",
+				fmt.Sprintf("%.0f", batched.throughput), ms(batched.p50), ms(batched.p99),
+				fmt.Sprintf("%.2fx", speedup))
+		}
+	}
+	t.AddNote("micro-batching at 64 clients on the packed-binary backend: %.2fx direct throughput (target >= 2x)",
+		binSpeedup64)
+	return t, nil
+}

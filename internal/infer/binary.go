@@ -54,6 +54,7 @@ type quantization struct {
 type BinaryModel struct {
 	model   *boosthd.Model
 	segDims []int // segment widths, learner-major
+	frozen  bool  // cold-loaded snapshot: no float memory to re-quantize from
 
 	mu   sync.Mutex                   // serializes re-quantization
 	snap atomic.Pointer[quantization] // current snapshot; never nil
@@ -139,9 +140,17 @@ func Quantize(m *boosthd.Model) (*BinaryModel, error) {
 	return bm, nil
 }
 
+// Frozen reports whether the model is a cold-loaded snapshot (LoadBinary)
+// with no float class memory behind it. Frozen models serve their stored
+// quantization forever: Stale is always false and Refresh is a no-op.
+func (bm *BinaryModel) Frozen() bool { return bm.frozen }
+
 // Stale reports whether any learner's class vectors changed (Fit, fault
 // injection) since the current snapshot was taken.
 func (bm *BinaryModel) Stale() bool {
+	if bm.frozen {
+		return false
+	}
 	qz := bm.snap.Load()
 	for i, l := range bm.model.Learners {
 		if l.Version() != qz.versions[i] {
@@ -154,6 +163,9 @@ func (bm *BinaryModel) Stale() bool {
 // Refresh re-thresholds the class memories from the current float model,
 // atomically swapping in a new snapshot.
 func (bm *BinaryModel) Refresh() {
+	if bm.frozen {
+		return
+	}
 	bm.mu.Lock()
 	defer bm.mu.Unlock()
 	bm.snap.Store(snapshot(bm.model))

@@ -77,6 +77,9 @@ func (e *Engine) Binary() *BinaryModel { return e.bin }
 // Model returns the underlying float ensemble.
 func (e *Engine) Model() *boosthd.Model { return e.model }
 
+// InputDim returns the raw feature width the engine's encoders expect.
+func (e *Engine) InputDim() int { return e.model.InputDim() }
+
 // Predict classifies one raw feature vector.
 func (e *Engine) Predict(x []float64) (int, error) {
 	if e.backend == PackedBinary {

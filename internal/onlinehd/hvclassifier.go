@@ -85,6 +85,32 @@ func (c *HVClassifier) MutateClass(fn func(class []hdc.Vector)) {
 	c.version++
 }
 
+// SetClass replaces the class hypervectors with a deep copy of class
+// under the write lock and bumps the version counter, so a classifier
+// that is already shared with serving goroutines can be re-seeded (model
+// load, checkpoint restore) without tearing in-flight reads or leaving a
+// stale norm cache behind. The copy also severs aliasing: later writes
+// through the caller's slices cannot reach the installed memory.
+func (c *HVClassifier) SetClass(class []hdc.Vector) error {
+	if len(class) != c.Classes {
+		return fmt.Errorf("onlinehd: %d class vectors for %d classes", len(class), c.Classes)
+	}
+	for i, cv := range class {
+		if len(cv) != c.Dim {
+			return fmt.Errorf("onlinehd: class %d has dim %d, want %d", i, len(cv), c.Dim)
+		}
+	}
+	fresh := make([]hdc.Vector, len(class))
+	for i, cv := range class {
+		fresh[i] = cv.Clone()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Class = fresh
+	c.version++
+	return nil
+}
+
 // ReadClass runs fn over the class hypervectors and the version they are
 // at, under the read lock: fn observes a consistent (version, vectors)
 // pair even while MutateClass or Fit runs on other goroutines. fn must

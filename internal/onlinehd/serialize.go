@@ -8,11 +8,14 @@ import (
 
 	"boosthd/internal/encoding"
 	"boosthd/internal/hdc"
+	"boosthd/internal/wire"
 )
 
 // modelWire is the gob wire format of a trained OnlineHD model. The
 // encoder is reconstructed from its configuration (it is deterministic in
-// the seed), so only the learned class hypervectors travel.
+// the seed), so only the learned class hypervectors travel. On disk the
+// gob stream is framed by a wire.MagicOnlineHD + version header; blobs
+// written before the header existed load through the legacy path.
 type modelWire struct {
 	Cfg   Config
 	InDim int
@@ -20,46 +23,57 @@ type modelWire struct {
 	Class []hdc.Vector
 }
 
-// Save serializes the model to w in gob format.
+// Save serializes the model to w in framed gob format. The class
+// hypervectors are deep-copied under the classifier's read lock, so
+// saving while Fit or fault injection mutates the model on other
+// goroutines writes a consistent (never torn, never aliased) snapshot;
+// the slow gob encode then runs outside the lock.
 func (m *Model) Save(w io.Writer) error {
-	wire := modelWire{
+	mw := modelWire{
 		Cfg:   m.Cfg,
 		InDim: m.Enc.InDim,
 		Gamma: m.Enc.Gamma,
-		Class: m.HV.Class,
 	}
-	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
+	m.HV.ReadClass(func(class []hdc.Vector, _ uint64) {
+		mw.Class = make([]hdc.Vector, len(class))
+		for i, cv := range class {
+			mw.Class[i] = cv.Clone()
+		}
+	})
+	if err := wire.WriteHeader(w, wire.MagicOnlineHD); err != nil {
+		return fmt.Errorf("onlinehd: save: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(&mw); err != nil {
 		return fmt.Errorf("onlinehd: save: %w", err)
 	}
 	return nil
 }
 
-// Load reconstructs a model previously written by Save.
+// Load reconstructs a model previously written by Save. Class vectors are
+// installed through the lock-aware SetClass, which bumps the norm-cache
+// version — a model loaded in place of one already shared with serving
+// goroutines can never serve stale cached norms.
 func Load(r io.Reader) (*Model, error) {
-	var wire modelWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
-		return nil, fmt.Errorf("onlinehd: load: %w", err)
-	}
-	enc, err := encoding.NewWithGamma(wire.InDim, wire.Cfg.Dim, wire.Cfg.Encoder, wire.Gamma, wire.Cfg.Seed)
+	_, body, err := wire.ReadHeader(r, wire.MagicOnlineHD)
 	if err != nil {
 		return nil, fmt.Errorf("onlinehd: load: %w", err)
 	}
-	hv, err := NewHVClassifier(wire.Cfg.Dim, wire.Cfg.Classes, wire.Cfg.LR)
+	var mw modelWire
+	if err := gob.NewDecoder(body).Decode(&mw); err != nil {
+		return nil, fmt.Errorf("onlinehd: load: %w", err)
+	}
+	enc, err := encoding.NewWithGamma(mw.InDim, mw.Cfg.Dim, mw.Cfg.Encoder, mw.Gamma, mw.Cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("onlinehd: load: %w", err)
 	}
-	if len(wire.Class) != wire.Cfg.Classes {
-		return nil, fmt.Errorf("onlinehd: load: %d class vectors for %d classes",
-			len(wire.Class), wire.Cfg.Classes)
+	hv, err := NewHVClassifier(mw.Cfg.Dim, mw.Cfg.Classes, mw.Cfg.LR)
+	if err != nil {
+		return nil, fmt.Errorf("onlinehd: load: %w", err)
 	}
-	for i, cv := range wire.Class {
-		if len(cv) != wire.Cfg.Dim {
-			return nil, fmt.Errorf("onlinehd: load: class %d has dim %d, want %d",
-				i, len(cv), wire.Cfg.Dim)
-		}
+	if err := hv.SetClass(mw.Class); err != nil {
+		return nil, fmt.Errorf("onlinehd: load: %w", err)
 	}
-	hv.Class = wire.Class
-	return &Model{Cfg: wire.Cfg, Enc: enc, HV: hv}, nil
+	return &Model{Cfg: mw.Cfg, Enc: enc, HV: hv}, nil
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"boosthd/internal/infer"
+)
+
+// benchFixture caches one trained paper-scale model across benchmarks.
+var (
+	benchOnce sync.Once
+	benchEng  map[string]*infer.Engine
+	benchRows [][]float64
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		m, X, _ := fixture(b, 10000, 10)
+		be, err := infer.NewBinaryEngine(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchEng = map[string]*infer.Engine{
+			"float":  infer.NewEngine(m),
+			"binary": be,
+		}
+		benchRows = X
+	})
+}
+
+// BenchmarkServeDirect measures per-request engine calls from concurrent
+// clients — the baseline the micro-batcher is judged against.
+func BenchmarkServeDirect(b *testing.B) {
+	benchSetup(b)
+	for _, backend := range []string{"float", "binary"} {
+		eng := benchEng[backend]
+		for _, clients := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/clients=%d", backend, clients), func(b *testing.B) {
+				b.SetParallelism(clients)
+				b.ReportAllocs()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						if _, err := eng.Predict(benchRows[i%len(benchRows)]); err != nil {
+							b.Error(err)
+							return
+						}
+						i++
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkServeBatched measures the same load through the micro-batcher.
+func BenchmarkServeBatched(b *testing.B) {
+	benchSetup(b)
+	for _, backend := range []string{"float", "binary"} {
+		eng := benchEng[backend]
+		for _, clients := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/clients=%d", backend, clients), func(b *testing.B) {
+				s, err := NewServer(eng, Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				b.SetParallelism(clients)
+				b.ReportAllocs()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						if _, err := s.Predict(benchRows[i%len(benchRows)]); err != nil {
+							b.Error(err)
+							return
+						}
+						i++
+					}
+				})
+				b.StopTimer()
+				if st := s.Stats(); st.Batches > 0 {
+					b.ReportMetric(st.MeanBatch, "rows/batch")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkServeEngineBatchSizes pins the amortization curve of the
+// binary engine's batch kernel — the per-row cost the batcher rides as
+// coalesced batches grow.
+func BenchmarkServeEngineBatchSizes(b *testing.B) {
+	benchSetup(b)
+	eng := benchEng["binary"]
+	for _, bs := range []int{1, 8, 32, 64} {
+		if bs > len(benchRows) {
+			continue
+		}
+		b.Run(fmt.Sprintf("rows=%d", bs), func(b *testing.B) {
+			rows := benchRows[:bs]
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.PredictBatch(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(time.Since(start).Seconds()*1e6/float64(b.N*bs), "µs/row")
+		})
+	}
+}

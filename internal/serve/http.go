@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/infer"
+)
+
+// Handler exposes a Server over HTTP/JSON:
+//
+//	POST /predict       {"features":[...]}            -> {"label":n}
+//	POST /predict_batch {"rows":[[...],...]}          -> {"labels":[...]}
+//	GET  /healthz                                     -> serving stats
+//	POST /swap          {"checkpoint":"p","backend":"float|binary"} -> swap report
+//
+// /predict rides the micro-batcher, so concurrent HTTP clients coalesce
+// into engine batch calls; /predict_batch goes straight to the engine.
+// /swap loads the named checkpoint from disk, builds (and for the binary
+// backend quantizes) the new engine off the serving path, then installs
+// it atomically — in-flight batches finish on the old model.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req struct {
+			Features []float64 `json:"features"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		label, err := s.Predict(req.Features)
+		if err != nil {
+			httpError(w, predictStatus(err), err)
+			return
+		}
+		writeJSON(w, map[string]int{"label": label})
+	})
+	mux.HandleFunc("/predict_batch", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req struct {
+			Rows [][]float64 `json:"rows"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		for i, row := range req.Rows {
+			if want := s.Engine().InputDim(); len(row) != want {
+				httpError(w, http.StatusBadRequest,
+					fmt.Errorf("%w: row %d has %d features, model expects %d", ErrBadInput, i, len(row), want))
+				return
+			}
+		}
+		labels, err := s.PredictBatch(req.Rows)
+		if err != nil {
+			httpError(w, predictStatus(err), err)
+			return
+		}
+		writeJSON(w, map[string][]int{"labels": labels})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodGet) {
+			return
+		}
+		st := s.Stats()
+		writeJSON(w, map[string]any{
+			"status":      "ok",
+			"backend":     st.Backend,
+			"served":      st.Served,
+			"batches":     st.Batches,
+			"mean_batch":  st.MeanBatch,
+			"swaps":       st.Swaps,
+			"queue_depth": st.QueueDepth,
+		})
+	})
+	mux.HandleFunc("/swap", func(w http.ResponseWriter, r *http.Request) {
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		var req struct {
+			Checkpoint string `json:"checkpoint"`
+			Backend    string `json:"backend"`
+		}
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		eng, err := LoadEngine(req.Checkpoint, req.Backend)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.Swap(eng); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "swapped", "backend": eng.Backend().String()})
+	})
+	return mux
+}
+
+// LoadEngine builds a serving engine from a checkpoint file. backend
+// selects the representation: "float" serves the float ensemble,
+// "binary" / "packed-binary" serves a quantized engine — from a binary
+// snapshot checkpoint directly (no re-quantization), or by quantizing a
+// float checkpoint after loading. Everything here runs off the serving
+// path; hand the result to Server.Swap.
+func LoadEngine(path, backend string) (*infer.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	switch strings.ToLower(backend) {
+	case "", "float":
+		m, err := boosthd.Load(f)
+		if err != nil {
+			return nil, err
+		}
+		return infer.NewEngine(m), nil
+	case "binary", "packed-binary":
+		// Try the binary-snapshot format first, then fall back to
+		// quantizing a float checkpoint. If neither format decodes,
+		// report the binary loader's error — the caller asked for the
+		// binary backend, and a corrupt snapshot must not be
+		// misreported as a wrong-type float checkpoint.
+		bm, berr := infer.LoadBinary(f)
+		if berr == nil {
+			return infer.NewEngineFromBinary(bm), nil
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return nil, fmt.Errorf("serve: rewind checkpoint: %w", err)
+		}
+		m, ferr := boosthd.Load(f)
+		if ferr != nil {
+			return nil, berr
+		}
+		return infer.NewBinaryEngine(m)
+	default:
+		return nil, fmt.Errorf("serve: unknown backend %q (want float or binary)", backend)
+	}
+}
+
+// predictStatus maps a prediction error to its HTTP status: request
+// validation failures are the client's fault, everything else is a
+// server fault.
+func predictStatus(err error) int {
+	if errors.Is(err, ErrBadInput) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// wantMethod enforces the endpoint's method, answering 405 otherwise.
+func wantMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s requires %s", r.URL.Path, method))
+		return false
+	}
+	return true
+}
+
+// decodeJSON parses the request body into dst, answering 400 on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than note it.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

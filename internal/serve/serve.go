@@ -1,0 +1,334 @@
+// Package serve is the production serving layer over infer.Engine: an
+// adaptive micro-batcher that coalesces concurrent single-predict
+// requests into the engine's fused batch pipeline, plus an atomically
+// hot-swappable engine slot so a freshly loaded (and, off the serving
+// path, freshly quantized) checkpoint can replace the live model without
+// dropping a request.
+//
+// The batcher is adaptive in the sense that it never waits when there is
+// nothing to wait for: a worker first drains whatever is already queued
+// without arming a timer, and only if its batch is still short does it
+// linger up to MaxWait for stragglers. Under heavy concurrency batches
+// fill instantly and requests ride the batch kernels (blocked encoding,
+// shared class-memory pins, per-worker scratch); under light load a lone
+// request pays at most MaxWait of extra latency.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boosthd/internal/infer"
+)
+
+// Config tunes the micro-batcher.
+type Config struct {
+	// MaxBatch is the most rows coalesced into one engine batch call.
+	// Default 64.
+	MaxBatch int
+	// MaxWait bounds how long a short batch lingers for stragglers after
+	// its first request. Zero selects the 200µs default — far below the
+	// per-row encode cost, so the wait is only ever visible to an
+	// otherwise idle server; negative means drain-only (never wait).
+	MaxWait time.Duration
+	// Workers is the number of concurrent batch executors. Default
+	// GOMAXPROCS.
+	Workers int
+	// QueueCap bounds queued requests beyond the batches in flight;
+	// Predict blocks (backpressure) when it is full. Default
+	// MaxBatch * Workers.
+	QueueCap int
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 200 * time.Microsecond
+	} else if c.MaxWait < 0 {
+		c.MaxWait = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = c.MaxBatch * c.Workers
+	}
+	return c
+}
+
+// request is one queued prediction; done receives exactly one result.
+type request struct {
+	x    []float64
+	done chan result
+}
+
+type result struct {
+	label int
+	err   error
+}
+
+// Stats is a point-in-time snapshot of serving counters.
+type Stats struct {
+	Served     uint64  // predictions completed through the batcher
+	Batches    uint64  // engine batch calls issued
+	MeanBatch  float64 // Served / Batches
+	Swaps      uint64  // hot-swaps performed
+	QueueDepth int     // requests queued at snapshot time
+	Backend    string  // current engine backend
+}
+
+// Server fronts a hot-swappable engine with the micro-batcher. All
+// methods are safe for concurrent use.
+type Server struct {
+	cfg    Config
+	engine atomic.Pointer[infer.Engine]
+	reqs   chan *request
+
+	mu     sync.RWMutex // guards closed against the Predict enqueue path
+	closed bool
+	wg     sync.WaitGroup
+
+	served  atomic.Uint64
+	batches atomic.Uint64
+	swaps   atomic.Uint64
+}
+
+// ErrClosed is returned by predictions issued after Close.
+var ErrClosed = fmt.Errorf("serve: server closed")
+
+// ErrBadInput wraps request-validation failures (wrong feature width),
+// so transports can answer them as client errors instead of server
+// faults.
+var ErrBadInput = fmt.Errorf("serve: bad input")
+
+// NewServer starts a server over eng with cfg's batching policy.
+func NewServer(eng *infer.Engine, cfg Config) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("serve: nil engine")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, reqs: make(chan *request, cfg.QueueCap)}
+	s.engine.Store(eng)
+	s.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Config returns the resolved batching policy.
+func (s *Server) Config() Config { return s.cfg }
+
+// Engine returns the engine currently serving.
+func (s *Server) Engine() *infer.Engine { return s.engine.Load() }
+
+// Swap atomically installs eng as the serving engine. Batches already
+// in flight finish on the engine they loaded; every later batch scores
+// on eng. Build the engine (load + quantize) before calling, so the
+// expensive work never happens on the serving path.
+func (s *Server) Swap(eng *infer.Engine) error {
+	if eng == nil {
+		return fmt.Errorf("serve: swap: nil engine")
+	}
+	s.engine.Store(eng)
+	s.swaps.Add(1)
+	return nil
+}
+
+// Predict classifies one feature vector through the micro-batcher: the
+// request is coalesced with concurrent callers into one engine batch
+// call. Blocks until the result is available (or the queue drains after
+// Close, which still serves everything already accepted). The feature
+// width is validated before enqueueing — a malformed request must fail
+// alone, not poison the whole batch it would have coalesced into (the
+// engine rejects mixed-width batches wholesale).
+func (s *Server) Predict(x []float64) (int, error) {
+	if want := s.engine.Load().InputDim(); len(x) != want {
+		return 0, fmt.Errorf("%w: feature length %d, model expects %d", ErrBadInput, len(x), want)
+	}
+	req := &request{x: x, done: make(chan result, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	s.reqs <- req
+	s.mu.RUnlock()
+	res := <-req.done
+	return res.label, res.err
+}
+
+// PredictBatch classifies an already-batched request directly on the
+// current engine, bypassing the coalescing queue — the caller has done
+// the batching.
+func (s *Server) PredictBatch(X [][]float64) ([]int, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	s.mu.RUnlock()
+	preds, err := s.engine.Load().PredictBatch(X)
+	if err == nil {
+		s.served.Add(uint64(len(X)))
+		s.batches.Add(1)
+	}
+	return preds, err
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	served := s.served.Load()
+	batches := s.batches.Load()
+	mean := 0.0
+	if batches > 0 {
+		mean = float64(served) / float64(batches)
+	}
+	return Stats{
+		Served:     served,
+		Batches:    batches,
+		MeanBatch:  mean,
+		Swaps:      s.swaps.Load(),
+		QueueDepth: len(s.reqs),
+		Backend:    s.engine.Load().Backend().String(),
+	}
+}
+
+// Close drains the server: new predictions fail with ErrClosed, every
+// request already accepted is still served, and Close returns once the
+// workers exit. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Every Predict that passed the closed check has finished its send
+	// (the send happens under the read lock), so closing the channel
+	// cannot race an enqueue; workers drain the buffered requests before
+	// observing the close.
+	close(s.reqs)
+	s.wg.Wait()
+}
+
+// collect assembles one batch: it blocks for the first request, drains
+// whatever else is already queued, and only if the batch is still short
+// arms the MaxWait timer for stragglers. prev is the worker's previous
+// batch size: when both it and the fast drain say the server is serving
+// a lone caller, the straggler wait is skipped entirely, so a
+// low-traffic server answers at direct-call latency instead of taxing
+// every request MaxWait. Returns the batch and whether the queue is
+// still open.
+func (s *Server) collect(pending []*request, prev int) ([]*request, bool) {
+	req, ok := <-s.reqs
+	if !ok {
+		return pending, false
+	}
+	pending = append(pending, req)
+	for len(pending) < s.cfg.MaxBatch {
+		select {
+		case r, ok := <-s.reqs:
+			if !ok {
+				return pending, false
+			}
+			pending = append(pending, r)
+			continue
+		default:
+		}
+		break
+	}
+	if len(pending) >= s.cfg.MaxBatch || s.cfg.MaxWait <= 0 {
+		return pending, true
+	}
+	if len(pending) == 1 && prev <= 1 {
+		// Looks like a lone caller — but don't trust one empty drain:
+		// on a saturated machine the channel handoff reschedules this
+		// worker ahead of callers that are runnable but have not
+		// enqueued yet, and skipping the wait here would lock serving
+		// into one-row batches. Yield once so those callers run, then
+		// re-drain; only if the queue is still empty is the caller
+		// truly alone, and the batch goes out with zero added latency.
+		runtime.Gosched()
+		for len(pending) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					return pending, false
+				}
+				pending = append(pending, r)
+				continue
+			default:
+			}
+			break
+		}
+		if len(pending) == 1 {
+			return pending, true
+		}
+		if len(pending) >= s.cfg.MaxBatch {
+			return pending, true
+		}
+	}
+	timer := time.NewTimer(s.cfg.MaxWait)
+	defer timer.Stop()
+	for len(pending) < s.cfg.MaxBatch {
+		select {
+		case r, ok := <-s.reqs:
+			if !ok {
+				return pending, false
+			}
+			pending = append(pending, r)
+		case <-timer.C:
+			return pending, true
+		}
+	}
+	return pending, true
+}
+
+// worker runs the batch loop: collect, execute on the engine loaded at
+// execution time, deliver. The request and row slices are reused across
+// batches, so the batcher itself allocates only the per-request result
+// channels its callers created.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	pending := make([]*request, 0, s.cfg.MaxBatch)
+	rows := make([][]float64, 0, s.cfg.MaxBatch)
+	prev := 0
+	for {
+		var open bool
+		pending, open = s.collect(pending[:0], prev)
+		prev = len(pending)
+		if len(pending) > 0 {
+			rows = rows[:0]
+			for _, r := range pending {
+				rows = append(rows, r.x)
+			}
+			preds, err := s.engine.Load().PredictBatch(rows)
+			if err == nil && len(preds) != len(pending) {
+				err = fmt.Errorf("serve: engine returned %d predictions for %d rows", len(preds), len(pending))
+			}
+			s.batches.Add(1)
+			if err == nil {
+				s.served.Add(uint64(len(pending)))
+			}
+			for i, r := range pending {
+				if err != nil {
+					r.done <- result{err: err}
+				} else {
+					r.done <- result{label: preds[i]}
+				}
+			}
+		}
+		if !open {
+			return
+		}
+	}
+}

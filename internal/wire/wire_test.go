@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, MagicEnsemble); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("payload")
+	v, body, err := ReadHeader(&buf, MagicEnsemble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Version {
+		t.Fatalf("version %d, want %d", v, Version)
+	}
+	rest, _ := io.ReadAll(body)
+	if string(rest) != "payload" {
+		t.Fatalf("payload %q after header", rest)
+	}
+}
+
+func TestHeaderTypeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, MagicOnlineHD); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadHeader(&buf, MagicEnsemble)
+	if err == nil {
+		t.Fatal("expected type-mismatch error")
+	}
+	if !strings.Contains(err.Error(), "OnlineHD") {
+		t.Fatalf("error %q does not name the found type", err)
+	}
+}
+
+func TestHeaderFutureVersionRejected(t *testing.T) {
+	blob := append([]byte(MagicBinary), Version+1)
+	_, _, err := ReadHeader(bytes.NewReader(blob), MagicBinary)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("expected version error, got %v", err)
+	}
+}
+
+func TestHeaderLegacyPassthrough(t *testing.T) {
+	// Headerless blobs (gob streams, arbitrary bytes) must replay intact.
+	for _, legacy := range []string{"", "ab", "\x40gob-ish stream bytes"} {
+		v, body, err := ReadHeader(strings.NewReader(legacy), MagicEnsemble)
+		if err != nil {
+			t.Fatalf("legacy %q: %v", legacy, err)
+		}
+		if v != 0 {
+			t.Fatalf("legacy %q: version %d, want 0", legacy, v)
+		}
+		rest, _ := io.ReadAll(body)
+		if string(rest) != legacy {
+			t.Fatalf("legacy %q replayed as %q", legacy, rest)
+		}
+	}
+}
+
+func TestWriteHeaderRejectsBadMagic(t *testing.T) {
+	if err := WriteHeader(io.Discard, "NOPE"); err == nil {
+		t.Fatal("expected invalid-magic error")
+	}
+}
