@@ -207,3 +207,68 @@ func TestServingFacade(t *testing.T) {
 		t.Fatalf("stats after swap: %+v", st)
 	}
 }
+
+// TestTrainerFacade drives the continual-learning exports: observe a
+// labeled stream through a Trainer (incremental updates against live
+// serving), then hot-retrain and verify the server swapped engines.
+func TestTrainerFacade(t *testing.T) {
+	cfg := boosthd.SynthConfig{
+		Name:            "api-trainer",
+		NumSubjects:     5,
+		SamplesPerState: 512,
+		SmoothWindow:    30,
+		WindowSize:      128,
+		WindowStep:      64,
+		Separability:    0.9,
+		SensorNoise:     0.3,
+		LabelNoise:      0.02,
+		Seed:            8,
+	}
+	data, subjects, err := boosthd.BuildSynth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, _, err := boosthd.SubjectSplit(data, subjects, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(800, 4, data.NumClasses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := boosthd.NewServer(boosthd.NewEngine(model), boosthd.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr, err := boosthd.NewTrainer(srv, boosthd.TrainerConfig{BufferCap: 128, MinRetrain: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range test.X {
+		if _, err := srv.Predict(test.X[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Observe(test.X[i], test.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := tr.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Swapped {
+		t.Fatalf("retrain did not swap: %+v", report)
+	}
+	status := tr.Status()
+	if status.Observed != uint64(len(test.X)) || status.Retrains != 1 {
+		t.Fatalf("trainer status %+v", status)
+	}
+	if got := srv.Stats().Swaps; got != 1 {
+		t.Fatalf("server swaps %d, want 1", got)
+	}
+	// The swapped-in engine still serves coherently.
+	if _, err := srv.Predict(test.X[0]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"boosthd/internal/serve"
 	"boosthd/internal/signal"
 	"boosthd/internal/synth"
+	"boosthd/internal/trainer"
 )
 
 // Model is a trained BoostHD ensemble (Algorithm 1): OnlineHD weak
@@ -207,11 +208,51 @@ type ServeStats = serve.Stats
 func NewServer(eng *Engine, cfg ServeConfig) (*Server, error) { return serve.NewServer(eng, cfg) }
 
 // NewServeHandler exposes a Server over HTTP/JSON (/predict,
-// /predict_batch, /healthz, /swap).
+// /predict_batch, /healthz, /swap) with the default hardening: body
+// and batch-row caps at their defaults, /swap disabled, no trainer.
 var NewServeHandler = serve.Handler
+
+// ServeHandlerConfig hardens and extends the HTTP layer: request body
+// cap (413 beyond), batch row cap, the /swap checkpoint allowlist
+// root, and the streaming trainer behind /observe and /retrain.
+type ServeHandlerConfig = serve.HandlerConfig
+
+// NewConfiguredServeHandler exposes a Server over HTTP/JSON with
+// explicit hardening and trainer wiring.
+var NewConfiguredServeHandler = serve.NewHandler
 
 // LoadServeEngine builds a serving engine from a checkpoint file:
 // "float" for the ensemble checkpoint, "binary" for a quantized engine
 // (from a binary snapshot directly, or by quantizing a float
 // checkpoint).
 var LoadServeEngine = serve.LoadEngine
+
+// Trainer is the streaming continual-learning subsystem: labeled
+// samples flow in through Observe — buffered in a bounded label-aware
+// store (sliding window + per-class reservoirs) and applied to the live
+// model as incremental OnlineHD steps under the learners' write locks —
+// and Retrain refits a replacement ensemble over the buffer off the
+// serving path, installing it through the server's atomic engine swap
+// with zero dropped requests.
+type Trainer = trainer.Trainer
+
+// TrainerConfig tunes the trainer: buffer capacity, retrain threshold
+// and period, swap-time backend, online-update toggle.
+type TrainerConfig = trainer.Config
+
+// TrainerBuffer is the bounded label-aware sample buffer behind a
+// Trainer.
+type TrainerBuffer = trainer.Buffer
+
+// RetrainReport describes one Trainer.Retrain call.
+type RetrainReport = serve.RetrainReport
+
+// TrainerStatus is a point-in-time snapshot of trainer counters.
+type TrainerStatus = serve.TrainerStatus
+
+// NewTrainer builds a Trainer over the float model behind srv's
+// current serving engine. A frozen binary snapshot (cold-loaded, no
+// float class memory) is rejected.
+func NewTrainer(srv *Server, cfg TrainerConfig) (*Trainer, error) {
+	return trainer.New(srv, cfg)
+}

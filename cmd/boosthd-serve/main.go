@@ -1,12 +1,19 @@
 // Command boosthd-serve runs the HTTP/JSON serving layer over a trained
 // BoostHD model: concurrent /predict requests are coalesced by the
-// adaptive micro-batcher into the engine's fused batch pipeline, and
-// /swap hot-loads a new checkpoint without dropping in-flight requests.
+// adaptive micro-batcher into the engine's fused batch pipeline, /swap
+// hot-loads a new checkpoint without dropping in-flight requests, and
+// with -trainer the streaming continual-learning loop keeps the model
+// fresh from labeled /observe traffic.
 //
 // Usage:
 //
 //	boosthd-serve [-addr :8080] [-checkpoint model.bhde] [-backend float|binary]
 //	              [-max-batch 64] [-max-wait 200us] [-workers N]
+//	              [-checkpoint-dir dir] [-body-limit bytes] [-max-rows N]
+//	              [-auth-token secret]
+//	              [-trainer] [-retrain-every 0] [-buffer 4096] [-retrain-mode full|alphas]
+//	              [-read-timeout 30s] [-write-timeout 30s] [-idle-timeout 2m]
+//	              [-shutdown-grace 15s]
 //
 // -checkpoint accepts a float ensemble checkpoint (written by
 // Model.Save / cmd/boosthd -save) or, with -backend binary, a quantized
@@ -15,26 +22,43 @@
 // the synthetic WESAD workload so the endpoints can be exercised
 // immediately.
 //
+// Hardening: every request body is capped (-body-limit, 413 beyond),
+// batch row counts are capped (-max-rows, 400 beyond), the listener
+// runs with read/write/idle timeouts instead of a bare
+// http.ListenAndServe, and SIGINT/SIGTERM trigger a graceful shutdown —
+// the listener stops accepting, in-flight handlers finish, and the
+// micro-batcher drains everything it already accepted. /swap only loads
+// checkpoints from inside -checkpoint-dir (disabled when unset), and
+// -auth-token requires a bearer token on every mutating endpoint
+// (/swap, /observe, /retrain).
+//
 // Endpoints:
 //
 //	POST /predict        {"features":[...]}                      -> {"label":n}
 //	POST /predict_batch  {"rows":[[...],...]}                    -> {"labels":[...]}
-//	GET  /healthz                                                -> serving stats
-//	POST /swap           {"checkpoint":"path","backend":"float"} -> swap report
+//	GET  /healthz                                                -> serving + trainer stats
+//	POST /swap           {"checkpoint":"name","backend":"float"} -> swap report
+//	POST /observe        {"features":[...],"label":n}            -> ingestion report
+//	POST /retrain        {}                                      -> retrain report
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	osignal "os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"boosthd/internal/boosthd"
 	"boosthd/internal/infer"
 	"boosthd/internal/serve"
 	"boosthd/internal/signal"
 	"boosthd/internal/synth"
+	"boosthd/internal/trainer"
 )
 
 func main() {
@@ -44,7 +68,31 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "micro-batcher max coalesced rows (0 = default 64)")
 	maxWait := flag.Duration("max-wait", 0, "micro-batcher straggler wait (0 = default 200us)")
 	workers := flag.Int("workers", 0, "batch executor goroutines (0 = GOMAXPROCS)")
+	checkpointDir := flag.String("checkpoint-dir", "", "allowlist root for /swap checkpoints (empty = /swap disabled)")
+	authToken := flag.String("auth-token", "", "bearer token required on /swap, /observe, /retrain (empty = no auth)")
+	bodyLimit := flag.Int64("body-limit", 0, "request body cap in bytes (0 = default 8 MiB, negative = unlimited)")
+	maxRows := flag.Int("max-rows", 0, "batch request row cap (0 = default 4096, negative = unlimited)")
+	useTrainer := flag.Bool("trainer", false, "enable the streaming continual-learning trainer (/observe, /retrain)")
+	retrainEvery := flag.Duration("retrain-every", 0, "background retrain period (0 = manual /retrain only)")
+	bufferCap := flag.Int("buffer", 4096, "trainer sample buffer capacity")
+	retrainMode := flag.String("retrain-mode", "full", "retrain scope: full (refit learners+alphas) or alphas (reweight only)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
+	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "max wait for in-flight requests on SIGTERM")
 	flag.Parse()
+
+	// Trainer-only knobs without -trainer would silently do nothing —
+	// the operator would believe the model is adapting while it serves
+	// frozen. Refuse the misconfiguration outright.
+	if !*useTrainer {
+		trainerOnly := map[string]bool{"retrain-every": true, "buffer": true, "retrain-mode": true}
+		flag.Visit(func(f *flag.Flag) {
+			if trainerOnly[f.Name] {
+				fail(fmt.Errorf("-%s requires -trainer", f.Name))
+			}
+		})
+	}
 
 	var (
 		eng *infer.Engine
@@ -72,14 +120,83 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	defer srv.Close()
 	cfg := srv.Config()
 	fmt.Printf("micro-batcher: max-batch %d, max-wait %v, %d workers\n",
 		cfg.MaxBatch, cfg.MaxWait, cfg.Workers)
-	fmt.Printf("listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, serve.Handler(srv)); err != nil {
-		fail(err)
+
+	hcfg := serve.HandlerConfig{
+		MaxBodyBytes:  *bodyLimit,
+		MaxBatchRows:  *maxRows,
+		CheckpointDir: *checkpointDir,
+		AuthToken:     *authToken,
 	}
+	var tr *trainer.Trainer
+	if *useTrainer {
+		tr, err = trainer.New(srv, trainer.Config{
+			BufferCap:    *bufferCap,
+			RetrainEvery: *retrainEvery,
+			Backend:      *backend,
+			Mode:         *retrainMode,
+		})
+		if err != nil {
+			fail(err)
+		}
+		tr.Start()
+		hcfg.Trainer = tr
+		fmt.Printf("trainer: buffer %d, retrain-every %v (%s retrain, %s backend at swap)\n",
+			*bufferCap, *retrainEvery, tr.Config().Mode, tr.Config().Backend)
+	}
+	if *checkpointDir != "" {
+		fmt.Printf("/swap allowlist root: %s\n", *checkpointDir)
+	}
+
+	// A configured http.Server instead of bare ListenAndServe: header and
+	// body reads, response writes, and idle keep-alives all time out, so
+	// a slow-drip client (Slowloris) cannot pin a connection forever.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(srv, hcfg),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("listening on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	osignal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fail(err)
+	case sig := <-sigCh:
+		fmt.Printf("caught %v, draining\n", sig)
+	}
+	// Graceful shutdown: stop accepting and let in-flight handlers
+	// finish, halt the retrain loop, then drain the micro-batcher —
+	// everything it accepted is still served before exit. The HTTP
+	// drain and the retrain-loop wait share ONE -shutdown-grace budget
+	// (an in-flight paper-scale refit can run for minutes, and two
+	// stacked grace periods would blow past the orchestrator's kill
+	// window the bound exists to respect).
+	deadline := time.Now().Add(*shutdownGrace)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "boosthd-serve: shutdown:", err)
+	}
+	if tr != nil {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			remaining = time.Millisecond
+		}
+		if !tr.StopWait(remaining) {
+			fmt.Fprintln(os.Stderr, "boosthd-serve: retrain still running past shutdown grace; abandoning it")
+		}
+	}
+	srv.Close()
+	fmt.Println("drained; bye")
 }
 
 // demoEngine trains a small ensemble on the synthetic WESAD workload so

@@ -158,6 +158,20 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 		gamma:    gamma,
 		inputDim: len(X[0]),
 	}
+	if err := m.boostFit(H, y); err != nil {
+		return nil, fmt.Errorf("boosthd: %w", err)
+	}
+	return m, nil
+}
+
+// boostFit runs Algorithm 1's sequential boosting loop over pre-encoded
+// rows H: each round fits a fresh weak learner on its dimension segment
+// under the evolving sample distribution, installs it, and records its
+// importance alpha. Shared by Train and Refit so an in-place refit is
+// bit-identical to a cold retrain from the same encoder stack and data.
+// Not synchronized with serving — run it on a model no reader holds.
+func (m *Model) boostFit(H []hdc.Vector, y []int) error {
+	cfg := m.Cfg
 	rng := rand.New(rand.NewSource(cfg.Seed + 977))
 
 	// Pre-slice every encoding per learner lazily inside the round.
@@ -184,13 +198,13 @@ func Train(X [][]float64, y []int, cfg Config) (*Model, error) {
 			return hv.PredictBatch(sub), nil
 		})
 	if err != nil {
-		return nil, fmt.Errorf("boosthd: %w", err)
+		return err
 	}
 	m.Alphas = make([]float64, len(results))
 	for i, r := range results {
 		m.Alphas[i] = r.Alpha
 	}
-	return m, nil
+	return nil
 }
 
 // pinLearners pins every learner's class vectors and norm cache for the

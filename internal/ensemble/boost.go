@@ -104,12 +104,22 @@ func Boost(y []int, classes, rounds int, train TrainRound) ([]Result, error) {
 // VoteAggregate combines per-learner class votes using alpha weights:
 // the prediction is argmax_k sum_i alpha_i * 1[pred_i == k], the inference
 // rule of the paper's Algorithm 1. votes[i] is learner i's predicted class.
+//
+// A votes/alphas length mismatch or an out-of-range vote is a programmer
+// error — every learner must vote and every vote must be a class — and
+// panics. Silently skipping the bad entries (the old behavior) miscounts
+// the election: a healthcare prediction backed by half the ensemble must
+// not look like one backed by all of it.
 func VoteAggregate(votes []int, alphas []float64, classes int) int {
+	if len(votes) != len(alphas) {
+		panic(fmt.Sprintf("ensemble: %d votes for %d alphas", len(votes), len(alphas)))
+	}
 	scores := make([]float64, classes)
 	for i, v := range votes {
-		if v >= 0 && v < classes && i < len(alphas) {
-			scores[v] += alphas[i]
+		if v < 0 || v >= classes {
+			panic(fmt.Sprintf("ensemble: vote %d at %d outside [0,%d)", v, i, classes))
 		}
+		scores[v] += alphas[i]
 	}
 	best := 0
 	for k := 1; k < classes; k++ {

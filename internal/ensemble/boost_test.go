@@ -131,10 +131,31 @@ func TestVoteAggregate(t *testing.T) {
 	if got := VoteAggregate(votes, alphas, 3); got != 0 {
 		t.Errorf("VoteAggregate = %d, want 0", got)
 	}
-	// Out-of-range votes are ignored.
-	if got := VoteAggregate([]int{-1, 9, 1}, []float64{5, 5, 1}, 3); got != 1 {
-		t.Errorf("VoteAggregate with junk votes = %d, want 1", got)
+}
+
+// TestVoteAggregatePanicsOnProgrammerError: a votes/alphas length
+// mismatch or an out-of-range vote must panic, not silently drop votes
+// and miscount the election. Before the fix, []int{-1, 9, 1} quietly
+// elected whichever class the surviving vote named.
+func TestVoteAggregatePanicsOnProgrammerError(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: did not panic", name)
+			}
+		}()
+		fn()
 	}
+	mustPanic("length mismatch", func() {
+		VoteAggregate([]int{0, 1}, []float64{1}, 3)
+	})
+	mustPanic("negative vote", func() {
+		VoteAggregate([]int{-1, 1}, []float64{1, 1}, 3)
+	})
+	mustPanic("vote past classes", func() {
+		VoteAggregate([]int{0, 9}, []float64{1, 1}, 3)
+	})
 }
 
 func TestScoreAggregate(t *testing.T) {

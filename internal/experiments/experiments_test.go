@@ -241,6 +241,30 @@ func TestZooCoversPaperModels(t *testing.T) {
 	}
 }
 
+func TestRunDriftSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running experiment smoke test")
+	}
+	// The drift stream needs enough held-out rows for 8 windows, so the
+	// cohort is slightly larger than tinyOptions'.
+	opt := tinyOptions()
+	opt.SubjectsOverride = 6
+	opt.SamplesOverride = 2048
+	opt.HDDimOverride = 600
+	tab, err := RunDrift(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 stream windows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 6 {
+			t.Fatalf("row %v: want 6 cells", row)
+		}
+	}
+}
+
 func TestRunInferBenchSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long-running experiment smoke test")

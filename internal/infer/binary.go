@@ -109,8 +109,12 @@ func (qz *quantization) quantizeLearner(i int, class []hdc.Vector) {
 // snapshot thresholds the model's current class memory. Each learner is
 // quantized under its read lock via ReadClass, so the snapshot records a
 // consistent (version, vectors) pair per learner even while Fit or fault
-// injection mutates the float model on other goroutines.
-func snapshot(m *boosthd.Model) *quantization {
+// injection mutates the float model on other goroutines. When a previous
+// snapshot is supplied, learners whose version did not change reuse its
+// planes instead of re-thresholding — snapshots are immutable, so the
+// sharing is safe, and a streaming update that moved one learner costs
+// one learner's quantization, not the whole ensemble's.
+func snapshot(m *boosthd.Model, prev *quantization) *quantization {
 	qz := &quantization{
 		class:    make([][]*hdc.BitVector, len(m.Learners)),
 		mask:     make([][]*hdc.BitVector, len(m.Learners)),
@@ -120,6 +124,12 @@ func snapshot(m *boosthd.Model) *quantization {
 	for i, l := range m.Learners {
 		l.ReadClass(func(class []hdc.Vector, version uint64) {
 			qz.versions[i] = version
+			if prev != nil && prev.versions[i] == version {
+				qz.class[i] = prev.class[i]
+				qz.mask[i] = prev.mask[i]
+				qz.maskOnes[i] = prev.maskOnes[i]
+				return
+			}
 			qz.quantizeLearner(i, class)
 		})
 	}
@@ -136,7 +146,7 @@ func Quantize(m *boosthd.Model) (*BinaryModel, error) {
 	for i, l := range m.Learners {
 		bm.segDims[i] = l.Dim
 	}
-	bm.snap.Store(snapshot(m))
+	bm.snap.Store(snapshot(m, nil))
 	return bm, nil
 }
 
@@ -168,7 +178,7 @@ func (bm *BinaryModel) Refresh() {
 	}
 	bm.mu.Lock()
 	defer bm.mu.Unlock()
-	bm.snap.Store(snapshot(bm.model))
+	bm.snap.Store(snapshot(bm.model, bm.snap.Load()))
 }
 
 // syncQuantization re-thresholds if the float model mutated since the
@@ -182,7 +192,7 @@ func (bm *BinaryModel) syncQuantization() {
 	bm.mu.Lock()
 	defer bm.mu.Unlock()
 	if bm.Stale() { // double-check under the lock
-		bm.snap.Store(snapshot(bm.model))
+		bm.snap.Store(snapshot(bm.model, bm.snap.Load()))
 	}
 }
 

@@ -348,15 +348,18 @@ func (c *HVClassifier) Fit(hs []hdc.Vector, y []int, opt FitOptions) error {
 // update applies the OnlineHD adaptive rule for one sample: nothing when
 // the prediction is already correct; otherwise pull the true class toward
 // h by lr*(1-delta_true) and push the mispredicted class away by
-// lr*(1-delta_pred), both scaled by the sample weight.
-func (c *HVClassifier) update(h hdc.Vector, label int, scale float64, scores []float64) {
+// lr*(1-delta_pred), both scaled by the sample weight. It reports whether
+// the class memory changed, so streaming callers can skip the version
+// bump (and the downstream re-quantization it triggers) on a no-op.
+func (c *HVClassifier) update(h hdc.Vector, label int, scale float64, scores []float64) bool {
 	c.scoresFresh(h, scores)
 	pred := argmax(scores)
 	if pred == label {
-		return
+		return false
 	}
 	c.Class[label].BundleScaled(h, c.LR*scale*(1-scores[label]))
 	c.Class[pred].BundleScaled(h, -c.LR*scale*(1-scores[pred]))
+	return true
 }
 
 // onePass applies the initial single-pass rule: every sample is added to
@@ -371,6 +374,31 @@ func (c *HVClassifier) onePass(h hdc.Vector, label int, scale float64, scores []
 	if pred != label {
 		c.Class[pred].BundleScaled(h, -c.LR*scale*(1-scores[pred]))
 	}
+}
+
+// Update applies one streaming OnlineHD adaptive step for a single
+// encoded sample under the write lock — the continual-learning entry
+// point. Concurrent scorers (PinClass, PredictBatch and the engine paths
+// built on them) block for the duration of the step and then observe the
+// fully applied update; the version counter is bumped only when the class
+// memory actually changed, so correctly classified samples do not
+// invalidate derived state (norm caches, binary quantizations). It
+// reports whether the memory changed.
+func (c *HVClassifier) Update(h hdc.Vector, label int) (bool, error) {
+	if len(h) != c.Dim {
+		return false, fmt.Errorf("onlinehd: update sample has dim %d, want %d", len(h), c.Dim)
+	}
+	if label < 0 || label >= c.Classes {
+		return false, fmt.Errorf("onlinehd: update label %d outside [0,%d)", label, c.Classes)
+	}
+	scores := make([]float64, c.Classes)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.update(h, label, 1, scores) {
+		return false, nil
+	}
+	c.version++
+	return true, nil
 }
 
 // PredictBatch classifies a batch of encoded samples sequentially, reusing

@@ -1,110 +1,411 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"boosthd/internal/boosthd"
 	"boosthd/internal/infer"
 )
 
-// Handler exposes a Server over HTTP/JSON:
+// Trainer is the streaming continual-learning hook the HTTP layer can
+// expose: labeled samples flow in through Observe, Retrain refits the
+// model over the trainer's buffer off the serving path and installs the
+// result through the server's atomic swap. internal/trainer provides
+// the implementation; the interface lives here so the transport layer
+// does not depend on it.
+type Trainer interface {
+	// Observe ingests one labeled sample. Validation failures wrap
+	// ErrBadInput so the transport answers them as client errors.
+	Observe(x []float64, label int) error
+	// ObserveBatch ingests a labeled batch all-or-nothing: every row is
+	// validated before any is buffered or applied, so a 400 means the
+	// stream state is untouched and the client can safely retry the
+	// whole batch.
+	ObserveBatch(X [][]float64, y []int) error
+	// Retrain refits over the buffered samples and hot-swaps the result
+	// in. A retrain that cannot run yet (buffer too small) is not an
+	// error: the report says Swapped=false with the reason.
+	Retrain() (RetrainReport, error)
+	// Adopt installs eng as the serving engine AND re-points the trainer
+	// at the model behind it, atomically with respect to retrains — the
+	// /swap path must go through it when a trainer is active, or the
+	// next retrain would refit the stale model and silently revert the
+	// operator's swap.
+	Adopt(eng *infer.Engine) error
+	// Status snapshots the trainer counters.
+	Status() TrainerStatus
+}
+
+// RetrainReport describes one Retrain call.
+type RetrainReport struct {
+	Swapped bool    `json:"swapped"`
+	Reason  string  `json:"reason,omitempty"` // why nothing was swapped
+	Samples int     `json:"samples"`          // buffered samples the refit saw
+	Backend string  `json:"backend,omitempty"`
+	Mode    string  `json:"mode,omitempty"` // "full" refit or "alphas" reweight
+	TookMS  float64 `json:"took_ms"`
+}
+
+// TrainerStatus is a point-in-time snapshot of trainer counters.
+type TrainerStatus struct {
+	Observed        uint64 `json:"observed"`             // samples ingested
+	Updated         uint64 `json:"updated"`              // samples whose online update moved class memory
+	Buffered        int    `json:"buffered"`             // samples currently buffered
+	Retrains        uint64 `json:"retrains"`             // successful retrain+swap cycles
+	RetrainFailures uint64 `json:"retrain_failures"`     // retrains that errored (refit/build/swap)
+	LastError       string `json:"last_error,omitempty"` // most recent retrain error, if any
+}
+
+// HandlerConfig hardens and extends the HTTP layer.
+type HandlerConfig struct {
+	// MaxBodyBytes caps every request body; oversized bodies answer
+	// 413 with bounded memory (http.MaxBytesReader). Zero selects the
+	// 8 MiB default; negative disables the cap.
+	MaxBodyBytes int64
+	// MaxBatchRows caps the row count of /predict_batch and batched
+	// /observe requests (400 beyond). Zero selects the 4096 default;
+	// negative disables the cap.
+	MaxBatchRows int
+	// CheckpointDir is the allowlist root for /swap: checkpoint names
+	// are resolved strictly inside it (rejecting absolute paths, path
+	// traversal, and symlink escapes). Empty disables /swap entirely —
+	// an unauthenticated POST must not read arbitrary filesystem paths.
+	CheckpointDir string
+	// Trainer enables /observe and /retrain when non-nil.
+	Trainer Trainer
+	// AuthToken, when set, is required on every mutating endpoint
+	// (/swap, /observe, /retrain) as "Authorization: Bearer <token>";
+	// requests without it answer 401. The read-only predict and health
+	// endpoints stay open. Unset leaves the mutating endpoints gated
+	// only by their opt-in config (CheckpointDir, Trainer) — fine on a
+	// trusted network, not on an exposed port.
+	AuthToken string
+}
+
+// DefaultMaxBodyBytes and DefaultMaxBatchRows are the request caps used
+// when HandlerConfig leaves them zero.
+const (
+	DefaultMaxBodyBytes = 8 << 20
+	DefaultMaxBatchRows = 4096
+)
+
+func (c HandlerConfig) withDefaults() HandlerConfig {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxBatchRows == 0 {
+		c.MaxBatchRows = DefaultMaxBatchRows
+	}
+	return c
+}
+
+// Handler exposes a Server over HTTP/JSON with the default hardening
+// config: body and batch caps at their defaults, /swap disabled (no
+// checkpoint dir), no trainer. Use NewHandler to enable them.
+func Handler(s *Server) http.Handler { return NewHandler(s, HandlerConfig{}) }
+
+// NewHandler exposes a Server (and optionally a Trainer) over HTTP/JSON:
 //
 //	POST /predict       {"features":[...]}            -> {"label":n}
 //	POST /predict_batch {"rows":[[...],...]}          -> {"labels":[...]}
-//	GET  /healthz                                     -> serving stats
-//	POST /swap          {"checkpoint":"p","backend":"float|binary"} -> swap report
+//	GET  /healthz                                     -> serving + trainer stats
+//	POST /swap          {"checkpoint":"name","backend":"float|binary"} -> swap report
+//	POST /observe       {"features":[...],"label":n}  -> ingestion report
+//	                    or {"rows":[[...],...],"labels":[...]}
+//	POST /retrain       {}                            -> RetrainReport
 //
 // /predict rides the micro-batcher, so concurrent HTTP clients coalesce
 // into engine batch calls; /predict_batch goes straight to the engine.
-// /swap loads the named checkpoint from disk, builds (and for the binary
-// backend quantizes) the new engine off the serving path, then installs
-// it atomically — in-flight batches finish on the old model.
-func Handler(s *Server) http.Handler {
+// /swap resolves the named checkpoint strictly inside the configured
+// checkpoint dir, builds (and for the binary backend quantizes) the new
+// engine off the serving path, then installs it atomically — in-flight
+// batches finish on the old model. /observe feeds the trainer's sample
+// buffer (and its incremental model updates); /retrain refits over the
+// buffer and swaps the result in.
+func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
+	h := &handler{s: s, cfg: cfg.withDefaults()}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
-		if !wantMethod(w, r, http.MethodPost) {
-			return
-		}
-		var req struct {
-			Features []float64 `json:"features"`
-		}
-		if !decodeJSON(w, r, &req) {
-			return
-		}
-		label, err := s.Predict(req.Features)
-		if err != nil {
-			httpError(w, predictStatus(err), err)
-			return
-		}
-		writeJSON(w, map[string]int{"label": label})
-	})
-	mux.HandleFunc("/predict_batch", func(w http.ResponseWriter, r *http.Request) {
-		if !wantMethod(w, r, http.MethodPost) {
-			return
-		}
-		var req struct {
-			Rows [][]float64 `json:"rows"`
-		}
-		if !decodeJSON(w, r, &req) {
-			return
-		}
-		for i, row := range req.Rows {
-			if want := s.Engine().InputDim(); len(row) != want {
-				httpError(w, http.StatusBadRequest,
-					fmt.Errorf("%w: row %d has %d features, model expects %d", ErrBadInput, i, len(row), want))
-				return
-			}
-		}
-		labels, err := s.PredictBatch(req.Rows)
-		if err != nil {
-			httpError(w, predictStatus(err), err)
-			return
-		}
-		writeJSON(w, map[string][]int{"labels": labels})
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if !wantMethod(w, r, http.MethodGet) {
-			return
-		}
-		st := s.Stats()
-		writeJSON(w, map[string]any{
-			"status":      "ok",
-			"backend":     st.Backend,
-			"served":      st.Served,
-			"batches":     st.Batches,
-			"mean_batch":  st.MeanBatch,
-			"swaps":       st.Swaps,
-			"queue_depth": st.QueueDepth,
-		})
-	})
-	mux.HandleFunc("/swap", func(w http.ResponseWriter, r *http.Request) {
-		if !wantMethod(w, r, http.MethodPost) {
-			return
-		}
-		var req struct {
-			Checkpoint string `json:"checkpoint"`
-			Backend    string `json:"backend"`
-		}
-		if !decodeJSON(w, r, &req) {
-			return
-		}
-		eng, err := LoadEngine(req.Checkpoint, req.Backend)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		if err := s.Swap(eng); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, map[string]string{"status": "swapped", "backend": eng.Backend().String()})
-	})
+	mux.HandleFunc("/predict", h.predict)
+	mux.HandleFunc("/predict_batch", h.predictBatch)
+	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/swap", h.swap)
+	mux.HandleFunc("/observe", h.observe)
+	mux.HandleFunc("/retrain", h.retrain)
 	return mux
+}
+
+type handler struct {
+	s   *Server
+	cfg HandlerConfig
+}
+
+func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req struct {
+		Features []float64 `json:"features"`
+	}
+	if !h.decodeJSON(w, r, &req) {
+		return
+	}
+	label, err := h.s.Predict(req.Features)
+	if err != nil {
+		httpError(w, predictStatus(err), err)
+		return
+	}
+	writeJSON(w, map[string]int{"label": label})
+}
+
+func (h *handler) predictBatch(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req struct {
+		Rows [][]float64 `json:"rows"`
+	}
+	if !h.decodeJSON(w, r, &req) {
+		return
+	}
+	if !h.checkRowCap(w, len(req.Rows)) {
+		return
+	}
+	want := h.s.Engine().InputDim()
+	for i, row := range req.Rows {
+		if len(row) != want {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: row %d has %d features, model expects %d", ErrBadInput, i, len(row), want))
+			return
+		}
+	}
+	labels, err := h.s.PredictBatch(req.Rows)
+	if err != nil {
+		httpError(w, predictStatus(err), err)
+		return
+	}
+	writeJSON(w, map[string][]int{"labels": labels})
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodGet) {
+		return
+	}
+	st := h.s.Stats()
+	resp := map[string]any{
+		"status":      "ok",
+		"backend":     st.Backend,
+		"input_dim":   h.s.Engine().InputDim(),
+		"served":      st.Served,
+		"batches":     st.Batches,
+		"mean_batch":  st.MeanBatch,
+		"swaps":       st.Swaps,
+		"queue_depth": st.QueueDepth,
+	}
+	if h.cfg.Trainer != nil {
+		resp["trainer"] = h.cfg.Trainer.Status()
+	}
+	writeJSON(w, resp)
+}
+
+func (h *handler) swap(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodPost) || !h.authorized(w, r) {
+		return
+	}
+	if h.cfg.CheckpointDir == "" {
+		httpError(w, http.StatusForbidden,
+			fmt.Errorf("serve: /swap disabled: no checkpoint dir configured"))
+		return
+	}
+	var req struct {
+		Checkpoint string `json:"checkpoint"`
+		Backend    string `json:"backend"`
+	}
+	if !h.decodeJSON(w, r, &req) {
+		return
+	}
+	path, err := resolveCheckpoint(h.cfg.CheckpointDir, req.Checkpoint)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Checkpoint load + quantization can legitimately outlive the
+	// server-wide WriteTimeout at paper scale; lift the deadline for
+	// this response so the connection is not torn down mid-handler
+	// while the swap completes anyway.
+	liftWriteDeadline(w)
+	eng, err := LoadEngine(path, req.Backend)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// With a trainer active the swap must go through it, so the trainer
+	// tracks the new model and later retrains refit the operator's
+	// checkpoint instead of silently reverting it.
+	if h.cfg.Trainer != nil {
+		if err := h.cfg.Trainer.Adopt(eng); err != nil {
+			httpError(w, predictStatus(err), err)
+			return
+		}
+	} else if err := h.s.Swap(eng); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "swapped", "backend": eng.Backend().String()})
+}
+
+func (h *handler) observe(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodPost) || !h.authorized(w, r) {
+		return
+	}
+	if h.cfg.Trainer == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no trainer configured"))
+		return
+	}
+	var req struct {
+		Features []float64   `json:"features"`
+		Label    *int        `json:"label"`
+		Rows     [][]float64 `json:"rows"`
+		Labels   []int       `json:"labels"`
+	}
+	if !h.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Features != nil && req.Rows != nil {
+		// An ambiguous payload would silently drop whichever half the
+		// switch below ignored — surface the client bug instead.
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: observe takes features+label or rows+labels, not both", ErrBadInput))
+		return
+	}
+	accepted := 0
+	switch {
+	case req.Features != nil:
+		if req.Label == nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%w: observe needs a label", ErrBadInput))
+			return
+		}
+		if err := h.cfg.Trainer.Observe(req.Features, *req.Label); err != nil {
+			httpError(w, predictStatus(err), err)
+			return
+		}
+		accepted = 1
+	case req.Rows != nil:
+		if !h.checkRowCap(w, len(req.Rows)) {
+			return
+		}
+		// All-or-nothing: a bad row mid-batch must not leave half the
+		// batch buffered (and half the online updates applied) behind a
+		// 400 — the client's natural retry would double-ingest the rest.
+		if err := h.cfg.Trainer.ObserveBatch(req.Rows, req.Labels); err != nil {
+			httpError(w, predictStatus(err), err)
+			return
+		}
+		accepted = len(req.Rows)
+	default:
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: observe needs features+label or rows+labels", ErrBadInput))
+		return
+	}
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"accepted": accepted,
+		"trainer":  h.cfg.Trainer.Status(),
+	})
+}
+
+func (h *handler) retrain(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodPost) || !h.authorized(w, r) {
+		return
+	}
+	if h.cfg.Trainer == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no trainer configured"))
+		return
+	}
+	// A full refit over the buffer can legitimately outlive the
+	// server-wide WriteTimeout (minutes at paper scale); a torn-down
+	// connection would report a network error for a retrain that
+	// succeeds anyway, inviting a duplicate retry behind the retrain
+	// lock. Lift the deadline for this response only.
+	liftWriteDeadline(w)
+	report, err := h.cfg.Trainer.Retrain()
+	if err != nil {
+		code := predictStatus(err)
+		if errors.Is(err, ErrBusy) {
+			code = http.StatusConflict
+		}
+		httpError(w, code, err)
+		return
+	}
+	writeJSON(w, report)
+}
+
+// authorized enforces the bearer token on mutating endpoints when one
+// is configured, answering 401 otherwise. Comparison is constant-time.
+func (h *handler) authorized(w http.ResponseWriter, r *http.Request) bool {
+	if h.cfg.AuthToken == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(h.cfg.AuthToken)) != 1 {
+		httpError(w, http.StatusUnauthorized, fmt.Errorf("serve: %s requires a valid bearer token", r.URL.Path))
+		return false
+	}
+	return true
+}
+
+// liftWriteDeadline removes the per-request write deadline the server's
+// WriteTimeout armed, for endpoints whose handlers legitimately run
+// longer than a predict (retrain, checkpoint load + quantization). A
+// transport without deadline support just keeps its timeout.
+func liftWriteDeadline(w http.ResponseWriter) {
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+}
+
+// checkRowCap enforces the batch row cap, answering 400 beyond it.
+func (h *handler) checkRowCap(w http.ResponseWriter, rows int) bool {
+	if h.cfg.MaxBatchRows > 0 && rows > h.cfg.MaxBatchRows {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: %d rows exceeds the %d-row cap", ErrBadInput, rows, h.cfg.MaxBatchRows))
+		return false
+	}
+	return true
+}
+
+// resolveCheckpoint maps a client-supplied checkpoint name into the
+// allowlist root, rejecting everything that could read outside it:
+// absolute paths, Windows-style drive/volume names, ".." traversal
+// (filepath.IsLocal covers all three) and symlinks that point out of the
+// root (EvalSymlinks on both sides). The resolved physical path is
+// returned, so the subsequent open cannot be retargeted by the checked
+// components.
+func resolveCheckpoint(root, name string) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("serve: empty checkpoint name")
+	}
+	if !filepath.IsLocal(name) {
+		return "", fmt.Errorf("serve: checkpoint %q escapes the checkpoint dir", name)
+	}
+	rootReal, err := filepath.EvalSymlinks(root)
+	if err != nil {
+		return "", fmt.Errorf("serve: checkpoint dir: %w", err)
+	}
+	real, err := filepath.EvalSymlinks(filepath.Join(root, name))
+	if err != nil {
+		return "", fmt.Errorf("serve: checkpoint %q: %w", name, err)
+	}
+	rel, err := filepath.Rel(rootReal, real)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("serve: checkpoint %q escapes the checkpoint dir", name)
+	}
+	return real, nil
 }
 
 // LoadEngine builds a serving engine from a checkpoint file. backend
@@ -168,9 +469,22 @@ func wantMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	return true
 }
 
-// decodeJSON parses the request body into dst, answering 400 on failure.
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+// decodeJSON parses the request body into dst under the body-size cap,
+// answering 413 when the cap tripped and 400 on malformed JSON. The cap
+// bounds server memory regardless of Content-Length honesty: the body is
+// never buffered past MaxBodyBytes.
+func (h *handler) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := r.Body
+	if h.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
+	}
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
 		return false
 	}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"boosthd/internal/infer"
+)
+
+// httpFixture starts a hardened handler over a small trained model.
+func httpFixture(t *testing.T, cfg HandlerConfig) (*httptest.Server, *Server, [][]float64) {
+	t.Helper()
+	m, X, _ := fixture(t, 320, 4)
+	s, err := NewServer(infer.NewEngine(m), Config{MaxBatch: 8, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(NewHandler(s, cfg))
+	t.Cleanup(ts.Close)
+	return ts, s, X
+}
+
+func postRaw(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestHTTPBodyLimit: an oversized body must answer 413 with bounded
+// memory — the server reads at most MaxBodyBytes of it — and keep
+// serving normally afterwards. Regression for the unbounded
+// json.Decode(r.Body) the endpoints shipped with.
+func TestHTTPBodyLimit(t *testing.T) {
+	const limit = 64 << 10
+	ts, _, X := httpFixture(t, HandlerConfig{MaxBodyBytes: limit})
+
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	// A ~1 MiB body against a 64 KiB cap (16x). Streamed from a
+	// constructed slice here, but the server must not buffer more than
+	// the cap of it.
+	big := []byte(`{"features":[` + strings.Repeat("1,", 1<<19) + `1]}`)
+	for _, path := range []string{"/predict", "/predict_batch", "/swap", "/observe"} {
+		resp := postRaw(t, ts.URL+path, big)
+		// /swap (no checkpoint dir) and /observe (no trainer) refuse
+		// before reading a body only if their gate runs first; the body
+		// cap must still win for the endpoints that decode.
+		if path == "/predict" || path == "/predict_batch" {
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("%s oversized body: %d, want 413", path, resp.StatusCode)
+			}
+		} else if resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s oversized body unexpectedly succeeded", path)
+		}
+	}
+
+	var after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	// Bounded memory: rejecting ~1 MiB bodies on a 64 KiB cap must not
+	// have grown the live heap by anywhere near the request sizes.
+	if grown := int64(after.HeapAlloc) - int64(before.HeapAlloc); grown > 16<<20 {
+		t.Fatalf("heap grew %d bytes across oversized requests", grown)
+	}
+
+	// The server survives and still serves.
+	raw, _ := json.Marshal(map[string]any{"features": X[0]})
+	if resp := postRaw(t, ts.URL+"/predict", raw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after oversized bodies: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPBatchRowCap: /predict_batch beyond MaxBatchRows answers 400.
+func TestHTTPBatchRowCap(t *testing.T) {
+	ts, _, X := httpFixture(t, HandlerConfig{MaxBatchRows: 4})
+	rows := [][]float64{X[0], X[1], X[2], X[3], X[4]}
+	raw, _ := json.Marshal(map[string]any{"rows": rows})
+	if resp := postRaw(t, ts.URL+"/predict_batch", raw); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-cap batch: %d, want 400", resp.StatusCode)
+	}
+	raw, _ = json.Marshal(map[string]any{"rows": rows[:4]})
+	if resp := postRaw(t, ts.URL+"/predict_batch", raw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("at-cap batch: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestSwapPathTraversal: /swap must only load checkpoints from inside
+// the configured root — relative escapes, absolute paths, and symlink
+// escapes all answer 400; no checkpoint dir answers 403. Regression for
+// the unauthenticated POST that read any filesystem path.
+func TestSwapPathTraversal(t *testing.T) {
+	root := t.TempDir()
+	outside := t.TempDir()
+
+	// A perfectly valid checkpoint placed OUTSIDE the root: every escape
+	// vector below points at it, so a traversal bug would succeed loudly.
+	m, _, _ := fixture(t, 320, 4)
+	f, err := os.Create(filepath.Join(outside, "loot.bhde"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ts, s, _ := httpFixture(t, HandlerConfig{CheckpointDir: root})
+	swapsBefore := s.Stats().Swaps
+
+	rel, err := filepath.Rel(root, filepath.Join(outside, "loot.bhde"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(filepath.Join(outside, "loot.bhde"), filepath.Join(root, "link.bhde")); err != nil {
+		t.Fatal(err)
+	}
+	escapes := []string{
+		rel,                                 // ../../x/loot.bhde
+		filepath.Join(outside, "loot.bhde"), // absolute path
+		"sub/../" + rel,                     // nested traversal
+		"link.bhde",                         // symlink inside root pointing out
+		"",                                  // empty name
+	}
+	for _, name := range escapes {
+		raw, _ := json.Marshal(map[string]string{"checkpoint": name, "backend": "float"})
+		resp := postRaw(t, ts.URL+"/swap", raw)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("escape %q: %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if got := s.Stats().Swaps; got != swapsBefore {
+		t.Fatalf("an escape performed a swap (%d -> %d)", swapsBefore, got)
+	}
+
+	// A checkpoint inside the root still swaps by bare name.
+	f, err = os.Create(filepath.Join(root, "ok.bhde"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	raw, _ := json.Marshal(map[string]string{"checkpoint": "ok.bhde", "backend": "float"})
+	if resp := postRaw(t, ts.URL+"/swap", raw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("legit swap: %d, want 200", resp.StatusCode)
+	}
+
+	// No checkpoint dir: /swap is disabled outright.
+	tsOff, _, _ := httpFixture(t, HandlerConfig{})
+	if resp := postRaw(t, tsOff.URL+"/swap", raw); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("swap without checkpoint dir: %d, want 403", resp.StatusCode)
+	}
+}
+
+// stubTrainer records observes, retrains, and adoptions for transport
+// tests.
+type stubTrainer struct {
+	observed int
+	retrains int
+	adopted  int
+	dim      int
+	srv      *Server
+}
+
+func (st *stubTrainer) Observe(x []float64, label int) error {
+	if len(x) != st.dim {
+		return fmt.Errorf("%w: %d features, want %d", ErrBadInput, len(x), st.dim)
+	}
+	st.observed++
+	return nil
+}
+
+func (st *stubTrainer) ObserveBatch(X [][]float64, y []int) error {
+	if len(X) != len(y) {
+		return fmt.Errorf("%w: %d rows with %d labels", ErrBadInput, len(X), len(y))
+	}
+	for _, row := range X {
+		if len(row) != st.dim {
+			return fmt.Errorf("%w: %d features, want %d", ErrBadInput, len(row), st.dim)
+		}
+	}
+	st.observed += len(X)
+	return nil
+}
+
+func (st *stubTrainer) Retrain() (RetrainReport, error) {
+	st.retrains++
+	return RetrainReport{Swapped: true, Samples: st.observed, Backend: "float"}, nil
+}
+
+func (st *stubTrainer) Adopt(eng *infer.Engine) error {
+	st.adopted++
+	if st.srv != nil {
+		return st.srv.Swap(eng)
+	}
+	return nil
+}
+
+func (st *stubTrainer) Status() TrainerStatus {
+	return TrainerStatus{Observed: uint64(st.observed), Buffered: st.observed, Retrains: uint64(st.retrains)}
+}
+
+// TestAuthTokenGatesMutatingEndpoints: with AuthToken set, /swap,
+// /observe, and /retrain require the bearer token (401 without it,
+// constant-time compared) while the read-only endpoints stay open.
+func TestAuthTokenGatesMutatingEndpoints(t *testing.T) {
+	st := &stubTrainer{dim: 10}
+	ts, _, X := httpFixture(t, HandlerConfig{Trainer: st, CheckpointDir: t.TempDir(), AuthToken: "sesame"})
+
+	raw, _ := json.Marshal(map[string]any{"features": X[0], "label": 1})
+	for _, path := range []string{"/swap", "/observe", "/retrain"} {
+		if resp := postRaw(t, ts.URL+path, raw); resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s without token: %d, want 401", path, resp.StatusCode)
+		}
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(raw))
+		req.Header.Set("Authorization", "Bearer wrong")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s with wrong token: %d, want 401", path, resp.StatusCode)
+		}
+	}
+	if st.observed != 0 || st.retrains != 0 || st.adopted != 0 {
+		t.Fatalf("unauthorized requests reached the trainer: %+v", st)
+	}
+
+	// The right token passes; read-only endpoints never needed one.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/observe", bytes.NewReader(raw))
+	req.Header.Set("Authorization", "Bearer sesame")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authorized /observe: %d", resp.StatusCode)
+	}
+	praw, _ := json.Marshal(map[string]any{"features": X[0]})
+	if resp := postRaw(t, ts.URL+"/predict", praw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/predict should not require auth: %d", resp.StatusCode)
+	}
+	if hresp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else if hresp.Body.Close(); hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz should not require auth: %d", hresp.StatusCode)
+	}
+}
+
+// TestSwapGoesThroughTrainer: with a trainer configured, /swap must
+// install the checkpoint via Trainer.Adopt — not a bare Server.Swap —
+// so the trainer tracks the operator's model instead of reverting it
+// on the next retrain.
+func TestSwapGoesThroughTrainer(t *testing.T) {
+	root := t.TempDir()
+	st := &stubTrainer{dim: 10}
+	ts, s, _ := httpFixture(t, HandlerConfig{CheckpointDir: root, Trainer: st})
+	st.srv = s
+
+	m, _, _ := fixture(t, 320, 4)
+	f, err := os.Create(filepath.Join(root, "op.bhde"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	raw, _ := json.Marshal(map[string]string{"checkpoint": "op.bhde", "backend": "float"})
+	if resp := postRaw(t, ts.URL+"/swap", raw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/swap with trainer: %d", resp.StatusCode)
+	}
+	if st.adopted != 1 {
+		t.Fatalf("trainer adopted %d times, want 1", st.adopted)
+	}
+	if s.Stats().Swaps != 1 {
+		t.Fatalf("server swaps %d, want 1", s.Stats().Swaps)
+	}
+}
+
+// TestObserveRetrainEndpoints: /observe accepts single and batched
+// labeled samples (validation failures answer 400), /retrain reports
+// the trainer's result, and /healthz embeds the trainer status. Without
+// a trainer both endpoints answer 404.
+func TestObserveRetrainEndpoints(t *testing.T) {
+	st := &stubTrainer{dim: 10}
+	ts, _, X := httpFixture(t, HandlerConfig{Trainer: st})
+
+	raw, _ := json.Marshal(map[string]any{"features": X[0], "label": 1})
+	if resp := postRaw(t, ts.URL+"/observe", raw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/observe: %d", resp.StatusCode)
+	}
+	raw, _ = json.Marshal(map[string]any{"rows": X[:3], "labels": []int{0, 1, 2}})
+	if resp := postRaw(t, ts.URL+"/observe", raw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/observe batch: %d", resp.StatusCode)
+	}
+	if st.observed != 4 {
+		t.Fatalf("observed %d, want 4", st.observed)
+	}
+	// Missing label, mismatched batch, wrong width, and ambiguous
+	// single+batch payloads are client errors.
+	for _, bad := range []map[string]any{
+		{"features": X[0]},
+		{"rows": X[:2], "labels": []int{0}},
+		{"features": []float64{1, 2}, "label": 0},
+		{"features": X[0], "label": 1, "rows": X[:1], "labels": []int{0}},
+	} {
+		raw, _ = json.Marshal(bad)
+		if resp := postRaw(t, ts.URL+"/observe", raw); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad observe %v: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	resp := postRaw(t, ts.URL+"/retrain", []byte(`{}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/retrain: %d", resp.StatusCode)
+	}
+	var report RetrainReport
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !report.Swapped || st.retrains != 1 {
+		t.Fatalf("retrain report %+v (retrains %d)", report, st.retrains)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		InputDim int            `json:"input_dim"`
+		Trainer  *TrainerStatus `json:"trainer"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Trainer == nil || health.Trainer.Observed != 4 || health.InputDim != 10 {
+		t.Fatalf("healthz trainer section: %+v", health)
+	}
+
+	// Without a trainer the endpoints do not exist.
+	tsOff, _, _ := httpFixture(t, HandlerConfig{})
+	if resp := postRaw(t, tsOff.URL+"/observe", raw); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/observe without trainer: %d, want 404", resp.StatusCode)
+	}
+	if resp := postRaw(t, tsOff.URL+"/retrain", []byte(`{}`)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/retrain without trainer: %d, want 404", resp.StatusCode)
+	}
+}

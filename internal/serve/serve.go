@@ -107,6 +107,11 @@ var ErrClosed = fmt.Errorf("serve: server closed")
 // faults.
 var ErrBadInput = fmt.Errorf("serve: bad input")
 
+// ErrBusy is returned by a Trainer.Retrain that found another retrain
+// already in flight; the transport answers 409 instead of parking an
+// unbounded pile of deadline-free connections behind the retrain lock.
+var ErrBusy = fmt.Errorf("serve: retrain already in flight")
+
 // NewServer starts a server over eng with cfg's batching policy.
 func NewServer(eng *infer.Engine, cfg Config) (*Server, error) {
 	if eng == nil {

@@ -281,7 +281,8 @@ func TestServeHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	ts := httptest.NewServer(Handler(s))
+	ckptDir := t.TempDir()
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{CheckpointDir: ckptDir}))
 	defer ts.Close()
 
 	post := func(path string, body any) (*http.Response, []byte) {
@@ -331,13 +332,13 @@ func TestServeHTTP(t *testing.T) {
 		t.Fatalf("/predict_batch labels %v", batch.Labels)
 	}
 
-	// Write a binary snapshot checkpoint and hot-swap to it.
+	// Write a binary snapshot checkpoint into the allowlist root and
+	// hot-swap to it by name.
 	bm, err := infer.Quantize(m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ckpt := filepath.Join(t.TempDir(), "model.bhdb")
-	f, err := os.Create(ckpt)
+	f, err := os.Create(filepath.Join(ckptDir, "model.bhdb"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +348,7 @@ func TestServeHTTP(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	resp, body = post("/swap", map[string]string{"checkpoint": ckpt, "backend": "binary"})
+	resp, body = post("/swap", map[string]string{"checkpoint": "model.bhdb", "backend": "binary"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/swap: %d %s", resp.StatusCode, body)
 	}
@@ -370,7 +371,7 @@ func TestServeHTTP(t *testing.T) {
 	}
 
 	// Swapping a missing checkpoint must fail without disturbing serving.
-	resp, _ = post("/swap", map[string]string{"checkpoint": filepath.Join(t.TempDir(), "nope"), "backend": "float"})
+	resp, _ = post("/swap", map[string]string{"checkpoint": "nope.bhde", "backend": "float"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("/swap missing checkpoint: %d", resp.StatusCode)
 	}

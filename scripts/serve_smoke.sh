@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the serving + continual-learning stack: train a
+# tiny checkpoint, serve it with the trainer enabled, stream labeled
+# observations over /observe, trigger a hot retrain over /retrain, and
+# assert the atomic engine swap registered in /healthz. Finishes by
+# SIGTERM-ing the server, exercising the graceful drain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== training tiny checkpoint"
+go run ./cmd/boosthd -dataset wesad -dim 800 -nl 4 -epochs 2 -runs 1 \
+  -subjects 6 -samples 512 -save "$workdir/model.bhde"
+
+echo "== starting boosthd-serve with the trainer"
+go build -o "$workdir/boosthd-serve" ./cmd/boosthd-serve
+"$workdir/boosthd-serve" -addr 127.0.0.1:18080 -checkpoint "$workdir/model.bhde" \
+  -trainer -buffer 512 -checkpoint-dir "$workdir" &
+server_pid=$!
+
+up=""
+for _ in $(seq 1 100); do
+  if curl -fs http://127.0.0.1:18080/healthz >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.2
+done
+[ -n "$up" ] || { echo "server never came up"; exit 1; }
+
+echo "== observe -> retrain -> healthz"
+python3 - <<'EOF'
+import json, random, urllib.request
+
+base = "http://127.0.0.1:18080"
+
+def call(path, payload=None):
+    if payload is None:
+        req = urllib.request.Request(base + path)
+    else:
+        req = urllib.request.Request(base + path, json.dumps(payload).encode(),
+                                     {"Content-Type": "application/json"})
+    with urllib.request.urlopen(req) as resp:
+        return json.loads(resp.read())
+
+health = call("/healthz")
+dim = health["input_dim"]
+assert health["swaps"] == 0, health
+
+rng = random.Random(7)
+rows = [[rng.gauss(0, 1) for _ in range(dim)] for _ in range(96)]
+labels = [i % 3 for i in range(96)]
+ingested = call("/observe", {"rows": rows, "labels": labels})
+assert ingested["accepted"] == 96, ingested
+
+pred = call("/predict", {"features": rows[0]})
+assert "label" in pred, pred
+
+report = call("/retrain", {})
+assert report["swapped"], report
+
+health = call("/healthz")
+assert health["swaps"] >= 1, health
+assert health["trainer"]["retrains"] >= 1, health
+assert health["trainer"]["observed"] == 96, health
+print("smoke ok:", json.dumps(health))
+EOF
+
+echo "== graceful shutdown"
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+echo "serve smoke passed"
