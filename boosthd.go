@@ -27,6 +27,7 @@ import (
 	"boosthd/internal/faults"
 	"boosthd/internal/infer"
 	"boosthd/internal/onlinehd"
+	"boosthd/internal/reliability"
 	"boosthd/internal/serve"
 	"boosthd/internal/signal"
 	"boosthd/internal/synth"
@@ -256,3 +257,39 @@ type TrainerStatus = serve.TrainerStatus
 func NewTrainer(srv *Server, cfg TrainerConfig) (*Trainer, error) {
 	return trainer.New(srv, cfg)
 }
+
+// ReliabilityMonitor is the runtime integrity subsystem for a serving
+// model: integrity signatures over the model memory verified by a
+// background scrubber, a held-out canary that scores each weak learner
+// solo, quarantine of corrupted learners by alpha-masking their vote
+// through an atomic engine swap, and repair from the last verified
+// checkpoint or a trainer hot-retrain — the paper's fault-tolerance
+// claim turned into a live serving guarantee.
+type ReliabilityMonitor = reliability.Monitor
+
+// ReliabilityConfig tunes the monitor: scrub period, canary quarantine
+// threshold, checkpoint/trainer repair sources, and whether versioned
+// (locked) mutations are trusted.
+type ReliabilityConfig = reliability.Config
+
+// ReliabilityStatus is a point-in-time snapshot of the monitor: the
+// per-learner health ledger plus scrub/quarantine/repair counters.
+type ReliabilityStatus = serve.ReliabilityStatus
+
+// ScrubReport describes one Monitor.Scrub detection pass.
+type ScrubReport = reliability.ScrubReport
+
+// RepairReport describes one Monitor.Repair restoration pass.
+type RepairReport = reliability.RepairReport
+
+// NewReliabilityMonitor builds a Monitor over the model behind srv's
+// current serving engine and signs it as the trusted baseline.
+func NewReliabilityMonitor(srv *Server, cfg ReliabilityConfig) (*ReliabilityMonitor, error) {
+	return reliability.New(srv, cfg)
+}
+
+// Remask builds the serving engine for a quarantine mask: an
+// alpha-masked view of base served through cur's backend, sharing the
+// expensive backend state. Scoring skips masked learners entirely, so
+// their (possibly corrupted) memory is never read.
+var Remask = infer.Remask

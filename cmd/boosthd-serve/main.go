@@ -12,6 +12,7 @@
 //	              [-checkpoint-dir dir] [-body-limit bytes] [-max-rows N]
 //	              [-auth-token secret]
 //	              [-trainer] [-retrain-every 0] [-buffer 4096] [-retrain-mode full|alphas]
+//	              [-scrub-every 0] [-canary 0] [-quarantine-threshold 0.15]
 //	              [-read-timeout 30s] [-write-timeout 30s] [-idle-timeout 2m]
 //	              [-shutdown-grace 15s]
 //
@@ -32,6 +33,17 @@
 // -auth-token requires a bearer token on every mutating endpoint
 // (/swap, /observe, /retrain).
 //
+// Reliability: -scrub-every starts the internal/reliability monitor — a
+// background scrubber that verifies integrity signatures over the model
+// memory (float checksums + packed-plane parity words), quarantines
+// corrupted or collapsed learners by zeroing their vote through an
+// atomic engine swap, and repairs them (re-threshold, or restore from
+// the -checkpoint file, or a trainer hot-retrain). -canary N holds N
+// rows out of the demo workload as the per-learner accuracy canary
+// (demo model only), and -quarantine-threshold sets the canary-drop
+// that quarantines. /healthz gains a model-identity and reliability
+// block; /reliability serves the full health ledger.
+//
 // Endpoints:
 //
 //	POST /predict        {"features":[...]}                      -> {"label":n}
@@ -40,6 +52,7 @@
 //	POST /swap           {"checkpoint":"name","backend":"float"} -> swap report
 //	POST /observe        {"features":[...],"label":n}            -> ingestion report
 //	POST /retrain        {}                                      -> retrain report
+//	GET  /reliability                                            -> health ledger + counters
 package main
 
 import (
@@ -55,6 +68,7 @@ import (
 
 	"boosthd/internal/boosthd"
 	"boosthd/internal/infer"
+	"boosthd/internal/reliability"
 	"boosthd/internal/serve"
 	"boosthd/internal/signal"
 	"boosthd/internal/synth"
@@ -76,6 +90,9 @@ func main() {
 	retrainEvery := flag.Duration("retrain-every", 0, "background retrain period (0 = manual /retrain only)")
 	bufferCap := flag.Int("buffer", 4096, "trainer sample buffer capacity")
 	retrainMode := flag.String("retrain-mode", "full", "retrain scope: full (refit learners+alphas) or alphas (reweight only)")
+	scrubEvery := flag.Duration("scrub-every", 0, "reliability scrub period (0 = monitor disabled)")
+	canaryRows := flag.Int("canary", 0, "held-out canary rows for per-learner health checks (demo model only)")
+	quarantineThreshold := flag.Float64("quarantine-threshold", 0.15, "canary accuracy drop that quarantines a learner")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
@@ -93,10 +110,35 @@ func main() {
 			}
 		})
 	}
+	if *scrubEvery <= 0 {
+		scrubOnly := map[string]bool{"canary": true, "quarantine-threshold": true}
+		flag.Visit(func(f *flag.Flag) {
+			if scrubOnly[f.Name] {
+				fail(fmt.Errorf("-%s requires -scrub-every", f.Name))
+			}
+		})
+	}
+	if *scrubEvery > 0 && *quarantineThreshold <= 0 {
+		// An exact-zero tolerance would quarantine on ordinary canary
+		// noise, and the monitor's config treats 0 as "use the default"
+		// — refuse the ambiguity instead of silently serving either
+		// meaning.
+		fail(fmt.Errorf("-quarantine-threshold must be positive (got %v)", *quarantineThreshold))
+	}
+	if *canaryRows > 0 && *checkpoint != "" {
+		// The canary is held out of the demo workload; a checkpointed
+		// model brings no data to hold out. Refuse rather than silently
+		// run integrity-only scrubbing the operator believes is
+		// canary-guarded.
+		fail(fmt.Errorf("-canary requires the demo model (no -checkpoint); " +
+			"checkpointed deployments run integrity-signature scrubbing"))
+	}
 
 	var (
-		eng *infer.Engine
-		err error
+		eng     *infer.Engine
+		canaryX [][]float64
+		canaryY []int
+		err     error
 	)
 	if *checkpoint != "" {
 		eng, err = serve.LoadEngine(*checkpoint, *backend)
@@ -105,7 +147,7 @@ func main() {
 		}
 		fmt.Printf("serving checkpoint %s on the %s backend\n", *checkpoint, eng.Backend())
 	} else {
-		eng, err = demoEngine(*backend)
+		eng, canaryX, canaryY, err = demoEngine(*backend, *canaryRows)
 		if err != nil {
 			fail(err)
 		}
@@ -148,6 +190,46 @@ func main() {
 	}
 	if *checkpointDir != "" {
 		fmt.Printf("/swap allowlist root: %s\n", *checkpointDir)
+	}
+
+	var mon *reliability.Monitor
+	if *scrubEvery > 0 {
+		rcfg := reliability.Config{
+			ScrubEvery:     *scrubEvery,
+			QuarantineDrop: *quarantineThreshold,
+			// The served checkpoint doubles as the last verified copy:
+			// restore quarantined learners from it.
+			CheckpointPath: *checkpoint,
+			// A trainer legitimately mutates class memory in place;
+			// without one, any mutation of a static serving model is
+			// corruption.
+			TrustVersioned: *useTrainer,
+		}
+		if tr != nil {
+			rcfg.Trainer = tr
+		}
+		mon, err = reliability.New(srv, rcfg)
+		if err != nil {
+			fail(err)
+		}
+		if len(canaryX) > 0 {
+			if err := mon.SetCanary(canaryX, canaryY); err != nil {
+				fail(err)
+			}
+		}
+		mon.Start()
+		hcfg.Reliability = mon
+		repair := "none (detect + quarantine only)"
+		switch {
+		case *checkpoint != "":
+			repair = "checkpoint restore"
+		case tr != nil:
+			repair = "trainer hot-retrain"
+		case eng.Binary() != nil && !eng.Binary().Frozen():
+			repair = "re-threshold from float memory"
+		}
+		fmt.Printf("reliability: scrub every %v, canary %d rows, quarantine drop %.2f, repair via %s\n",
+			*scrubEvery, len(canaryX), *quarantineThreshold, repair)
 	}
 
 	// A configured http.Server instead of bare ListenAndServe: header and
@@ -195,45 +277,66 @@ func main() {
 			fmt.Fprintln(os.Stderr, "boosthd-serve: retrain still running past shutdown grace; abandoning it")
 		}
 	}
+	if mon != nil {
+		mon.Stop()
+	}
 	srv.Close()
 	fmt.Println("drained; bye")
 }
 
 // demoEngine trains a small ensemble on the synthetic WESAD workload so
-// the server is usable without a checkpoint file.
-func demoEngine(backend string) (*infer.Engine, error) {
+// the server is usable without a checkpoint file. canary > 0 holds that
+// many held-out (subject-disjoint, train-normalized) rows back as the
+// reliability monitor's canary set.
+func demoEngine(backend string, canary int) (*infer.Engine, [][]float64, []int, error) {
 	cfg := synth.WESADConfig()
 	cfg.NumSubjects = 12
 	cfg.SamplesPerState = 1536
 	data, roster, err := synth.Build(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	train, _, _, err := synth.SubjectSplit(data, roster, 0.3, 11)
+	train, test, _, err := synth.SubjectSplit(data, roster, 0.3, 11)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	norm, err := signal.FitNormalizer(train.X, signal.ZScore)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if _, err := norm.Apply(train.X); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	mcfg := boosthd.DefaultConfig(10000, 10, data.NumClasses)
 	mcfg.Epochs = 5
 	m, err := boosthd.Train(train.X, train.Y, mcfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
+	var canaryX [][]float64
+	var canaryY []int
+	if canary > 0 {
+		if canary > len(test.X) {
+			canary = len(test.X)
+		}
+		if _, err := norm.Apply(test.X[:canary]); err != nil {
+			return nil, nil, nil, err
+		}
+		canaryX, canaryY = test.X[:canary], test.Y[:canary]
+	}
+	var eng *infer.Engine
 	switch strings.ToLower(backend) {
 	case "", "float":
-		return infer.NewEngine(m), nil
+		eng = infer.NewEngine(m)
 	case "binary", "packed-binary":
-		return infer.NewBinaryEngine(m)
+		eng, err = infer.NewBinaryEngine(m)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 	default:
-		return nil, fmt.Errorf("unknown backend %q (want float or binary)", backend)
+		return nil, nil, nil, fmt.Errorf("unknown backend %q (want float or binary)", backend)
 	}
+	return eng, canaryX, canaryY, nil
 }
 
 func fail(err error) {

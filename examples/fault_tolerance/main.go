@@ -1,8 +1,14 @@
-// Fault tolerance under memory bit flips (the paper's Figure 8 protocol):
-// train BoostHD and OnlineHD on a wearable-stress workload, then flip
-// stored class-hypervector bits with increasing per-bit probability and
-// watch the vote redundancy keep BoostHD's accuracy flat while the
-// monolithic model degrades.
+// Fault tolerance as a live serving guarantee: the paper's Figure 8
+// protocol (random bit flips in stored class hypervectors) run against
+// the runtime reliability subsystem instead of an offline sweep. The
+// demo trains BoostHD on a wearable-stress workload, serves it, signs
+// it with a reliability monitor, then walks the full self-healing
+// cycle:
+//
+//	inject -> scrub detects -> quarantine (alpha-masked swap) -> repair
+//
+// and prints the served accuracy at every stage — corrupted, degraded
+// (quarantined, riding the ensemble redundancy), and repaired.
 //
 //	go run ./examples/fault_tolerance
 package main
@@ -11,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"boosthd"
 )
@@ -47,41 +55,101 @@ func main() {
 		log.Fatal(err)
 	}
 
-	boost, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(8000, 10, data.NumClasses))
-	if err != nil {
-		log.Fatal(err)
-	}
-	online, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(8000, 1, data.NumClasses))
+	model, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(8000, 10, data.NumClasses))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	rng := rand.New(rand.NewSource(99))
-	const trials = 15
-	fmt.Println("p_b        BoostHD     OnlineHD   (mean accuracy % over trials)")
-	for _, pb := range []float64{0, 1e-6, 1e-5, 1e-4, 1e-3} {
-		var boostSum, onlineSum float64
-		for t := 0; t < trials; t++ {
-			inj, err := boosthd.NewFaultInjector(pb, rng)
-			if err != nil {
-				log.Fatal(err)
-			}
-			bc := boost.Clone()
-			bc.InjectClassFaults(inj)
-			bAcc, err := bc.Evaluate(test.X, test.Y)
-			if err != nil {
-				log.Fatal(err)
-			}
-			oc := online.Clone()
-			oc.InjectClassFaults(inj)
-			oAcc, err := oc.Evaluate(test.X, test.Y)
-			if err != nil {
-				log.Fatal(err)
-			}
-			boostSum += bAcc
-			onlineSum += oAcc
-		}
-		fmt.Printf("%-9.0e  %8.2f    %8.2f\n", pb,
-			boostSum/trials*100, onlineSum/trials*100)
+	// Save the verified checkpoint BEFORE anything can corrupt the
+	// model — it is the repair source the monitor restores from.
+	dir, err := os.MkdirTemp("", "boosthd-fault-demo")
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "verified.bhde")
+	f, err := os.Create(ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the model and attach the reliability monitor: signatures
+	// over every learner's memory plus a held-out canary that scores
+	// each learner solo.
+	srv, err := boosthd.NewServer(boosthd.NewEngine(model), boosthd.ServeConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	mon, err := boosthd.NewReliabilityMonitor(srv, boosthd.ReliabilityConfig{CheckpointPath: ckpt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	canaryN := len(test.X) / 5
+	if err := mon.SetCanary(test.X[:canaryN], test.Y[:canaryN]); err != nil {
+		log.Fatal(err)
+	}
+	probesX, probesY := test.X[canaryN:], test.Y[canaryN:]
+
+	accuracy := func() float64 {
+		preds, err := srv.PredictBatch(probesX)
+		if err != nil {
+			log.Fatal(err)
+		}
+		right := 0
+		for i, p := range preds {
+			if p == probesY[i] {
+				right++
+			}
+		}
+		return float64(right) / float64(len(preds)) * 100
+	}
+	fmt.Printf("serving clean model:            accuracy %.2f%% (model generation %d)\n",
+		accuracy(), srv.Stats().ModelVersion)
+
+	// Corrupt three learners' class memories with heavy bit flips —
+	// pb=1e-3 over float32 storage flips exponent bits often enough to
+	// blow individual learners up completely.
+	rng := rand.New(rand.NewSource(99))
+	inj, err := boosthd.NewFaultInjector(1e-3, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flips := 0
+	for _, learner := range []int{1, 4, 7} {
+		flips += model.InjectLearnerFaults(learner, inj)
+	}
+	fmt.Printf("injected %d bit flips into learners 1, 4, 7: accuracy %.2f%% (silent corruption)\n",
+		flips, accuracy())
+
+	// Scrub: the integrity signatures flag exactly the corrupted
+	// learners; quarantine masks their votes through an atomic engine
+	// swap, and the remaining learners keep serving.
+	srep, err := mon.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scrub detected + quarantined %v: accuracy %.2f%% (degraded, generation %d)\n",
+		srep.Quarantined, accuracy(), srv.Stats().ModelVersion)
+	st := mon.Status()
+	fmt.Printf("healthz would report: degraded=%v, %d/%d learners quarantined\n",
+		st.Degraded, len(st.Quarantined), st.Learners)
+
+	// Repair: class vectors restored from the verified checkpoint,
+	// re-signed, canary-verified, un-quarantined.
+	rrep, err := mon.Repair()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repaired %v from %s: accuracy %.2f%% (generation %d)\n",
+		rrep.Repaired, rrep.Source, accuracy(), srv.Stats().ModelVersion)
+	st = mon.Status()
+	fmt.Printf("final status: degraded=%v, detections=%d, repairs=%d — served throughout, zero downtime\n",
+		st.Degraded, st.Detections, st.Repairs)
 }

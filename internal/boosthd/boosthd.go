@@ -295,6 +295,13 @@ func (m *Model) classifyEncoded(h hdc.Vector, norms [][]float64, sc *inferScratc
 	}
 	score := m.Cfg.Aggregation == Score
 	for i, l := range m.Learners {
+		if m.Alphas[i] == 0 {
+			// A zero-alpha learner (quarantined, or judged worthless by
+			// boosting) contributes nothing — and must not be scored at
+			// all: corrupted class memory can hold NaN/Inf, and 0*NaN
+			// would poison the aggregate the masking exists to protect.
+			continue
+		}
 		seg := m.segs[i]
 		hseg := h[seg.lo:seg.hi]
 		hn := math.Sqrt(segmentDots(hseg, l.Class, sc.dots))
@@ -544,6 +551,24 @@ func (m *Model) InjectClassFaults(inj *faults.Injector) int {
 			}
 		})
 	}
+	return flips
+}
+
+// InjectLearnerFaults flips bits in a single weak learner's class
+// hypervectors under its write lock — the targeted variant of
+// InjectClassFaults, used by reliability studies that corrupt specific
+// learners and check the scrubber attributes the damage correctly. It
+// returns the number of flipped bits.
+func (m *Model) InjectLearnerFaults(learner int, inj *faults.Injector) int {
+	if learner < 0 || learner >= len(m.Learners) {
+		panic(fmt.Sprintf("boosthd: learner %d outside [0,%d)", learner, len(m.Learners)))
+	}
+	flips := 0
+	m.Learners[learner].MutateClass(func(class []hdc.Vector) {
+		for _, cv := range class {
+			flips += inj.InjectFloat32(cv)
+		}
+	})
 	return flips
 }
 

@@ -119,6 +119,58 @@ func (m *Model) AlphaView() *Model {
 	}
 }
 
+// MaskedAlphaView returns an AlphaView with the quarantined learners'
+// votes zeroed: masked[i] true sets the view's alpha_i to 0, and the
+// scoring paths skip zero-alpha learners entirely (their memory — the
+// reason they were masked — is never read). This is the reliability
+// subsystem's quarantine unit: the ensemble's vote redundancy lets the
+// remaining learners keep serving while a corrupted one is silenced,
+// and because the view shares the live learners, repair work (SetClass
+// restores, streaming updates) lands in memory the view serves.
+func (m *Model) MaskedAlphaView(masked []bool) (*Model, error) {
+	if len(masked) != len(m.Learners) {
+		return nil, fmt.Errorf("boosthd: %d mask entries for %d learners", len(masked), len(m.Learners))
+	}
+	v := m.AlphaView()
+	for i, q := range masked {
+		if q {
+			v.Alphas[i] = 0
+		}
+	}
+	return v, nil
+}
+
+// EvaluateLearners scores each weak learner standalone on a labeled set:
+// rows are encoded once and every learner predicts from its own dimension
+// segment, unweighted by alpha. This is the reliability canary probe — a
+// learner whose solo accuracy collapses is corrupted (or collapsed) in a
+// way a memory checksum cannot always see, e.g. pre-quantization drift.
+func (m *Model) EvaluateLearners(X [][]float64, y []int) ([]float64, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("boosthd: bad learner evaluation set (%d rows, %d labels)", len(X), len(y))
+	}
+	H, err := m.Enc.EncodeBatch(X)
+	if err != nil {
+		return nil, fmt.Errorf("boosthd: %w", err)
+	}
+	acc := make([]float64, len(m.Learners))
+	sub := make([]hdc.Vector, len(H))
+	for i, l := range m.Learners {
+		seg := m.segs[i]
+		for r, h := range H {
+			sub[r] = h.Slice(seg.lo, seg.hi)
+		}
+		right := 0
+		for r, p := range l.PredictBatch(sub) {
+			if p == y[r] {
+				right++
+			}
+		}
+		acc[i] = float64(right) / float64(len(y))
+	}
+	return acc, nil
+}
+
 // Refit retrains every weak learner and the boosting alphas from scratch
 // over (X, y), reusing the model's encoder stack (projections and
 // bandwidths are preserved, so the refitted model lives in the same

@@ -109,6 +109,9 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("boosthd: load: %w", err)
 	}
 	cfg := ew.Cfg
+	if err := wire.CheckDims(cfg.TotalDim, ew.InDim, cfg.Classes, cfg.NumLearners); err != nil {
+		return nil, fmt.Errorf("boosthd: load: %w", err)
+	}
 	if len(ew.Class) != cfg.NumLearners {
 		return nil, fmt.Errorf("boosthd: load: %d learner states for %d learners",
 			len(ew.Class), cfg.NumLearners)

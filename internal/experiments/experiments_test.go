@@ -277,3 +277,35 @@ func TestRunInferBenchSmoke(t *testing.T) {
 		t.Fatalf("rows = %d, want 2", len(tab.Rows))
 	}
 }
+
+func TestRunReliabilitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running experiment smoke test")
+	}
+	opt := tinyOptions()
+	opt.SubjectsOverride = 6
+	opt.SamplesOverride = 2048
+	opt.HDDimOverride = 600
+	tab, err := RunReliability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 soak windows", len(tab.Rows))
+	}
+	// Every fault window must show detection on the protected server,
+	// every detection must be repaired in the same window, and the
+	// protected accuracy must track the clean model exactly (repair
+	// restores the identical quantization).
+	for _, row := range tab.Rows {
+		if len(row) != 8 {
+			t.Fatalf("row %v: want 8 cells", row)
+		}
+		if row[5] != row[6] {
+			t.Fatalf("row %v: quarantined %s != repaired %s", row, row[5], row[6])
+		}
+		if row[2] != row[4] {
+			t.Fatalf("row %v: protected acc %s != clean acc %s", row, row[4], row[2])
+		}
+	}
+}

@@ -86,6 +86,42 @@ func (in *Injector) InjectFloat64(data []float64) int {
 	return flips
 }
 
+// InjectWords flips bits of packed 64-bit storage planes — the binary
+// backend's sign and confidence-mask memories — treating the given
+// slices as one contiguous bit array so the geometric skip amortizes
+// across planes. Word-granular storage is exactly what wearable-class
+// accelerators keep the quantized model in, so this is the in-place
+// analogue of InjectFloat32 for the packed representation. It returns
+// the number of flipped bits.
+func (in *Injector) InjectWords(planes ...[]uint64) int {
+	if in.Pb <= 0 {
+		return 0
+	}
+	totalBits := 0
+	for _, p := range planes {
+		totalBits += len(p) * 64
+	}
+	if totalBits == 0 {
+		return 0
+	}
+	flips := 0
+	pos := geometricSkip(in.Pb, in.Rng)
+	for pos < totalBits {
+		rem := pos
+		for _, p := range planes {
+			bits := len(p) * 64
+			if rem < bits {
+				p[rem/64] ^= 1 << uint(rem%64)
+				break
+			}
+			rem -= bits
+		}
+		flips++
+		pos += 1 + geometricSkip(in.Pb, in.Rng)
+	}
+	return flips
+}
+
 // InjectAll32 applies InjectFloat32 to every slice, returning total flips.
 func (in *Injector) InjectAll32(slices ...[]float64) int {
 	flips := 0

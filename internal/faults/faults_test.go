@@ -2,6 +2,7 @@ package faults
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -165,5 +166,82 @@ func TestInjectBoundsQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestInjectWordsFlipCount: the geometric skip over concatenated planes
+// must produce ~totalBits*pb flips, each landing inside a plane word.
+func TestInjectWordsFlipCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in, err := NewInjector(1e-3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]uint64, 300)
+	b := make([]uint64, 500)
+	totalBits := (len(a) + len(b)) * 64
+	const trials = 200
+	flips := 0
+	for i := 0; i < trials; i++ {
+		flips += in.InjectWords(a, b)
+	}
+	mean := float64(flips) / trials
+	want := float64(totalBits) * in.Pb
+	if math.Abs(mean-want) > 0.25*want {
+		t.Errorf("mean flips %v, want ~%v", mean, want)
+	}
+}
+
+// TestInjectWordsMutatesExactly: the number of set-bit differences after
+// injection equals the reported flip count (every flip lands, none
+// double-counts) across both planes.
+func TestInjectWordsMutatesExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	in, err := NewInjector(5e-3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planes := [][]uint64{make([]uint64, 128), make([]uint64, 64), make([]uint64, 1)}
+	orig := make([][]uint64, len(planes))
+	for i, p := range planes {
+		for j := range p {
+			p[j] = rng.Uint64()
+		}
+		orig[i] = append([]uint64(nil), p...)
+	}
+	flips := in.InjectWords(planes...)
+	if flips == 0 {
+		t.Fatal("expected at least one flip at pb=5e-3 over 12k bits")
+	}
+	diff := 0
+	for i, p := range planes {
+		for j := range p {
+			diff += bits.OnesCount64(p[j] ^ orig[i][j])
+		}
+	}
+	if diff != flips {
+		t.Errorf("reported %d flips, observed %d differing bits", flips, diff)
+	}
+}
+
+// TestInjectWordsEdgeCases: zero probability and empty planes are no-ops.
+func TestInjectWordsEdgeCases(t *testing.T) {
+	in, err := NewInjector(0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []uint64{42}
+	if n := in.InjectWords(p); n != 0 || p[0] != 42 {
+		t.Errorf("pb=0 injected %d flips", n)
+	}
+	in2, err := NewInjector(0.5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := in2.InjectWords(); n != 0 {
+		t.Errorf("no planes injected %d flips", n)
+	}
+	if n := in2.InjectWords(nil, []uint64{}); n != 0 {
+		t.Errorf("empty planes injected %d flips", n)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"boosthd/internal/boosthd"
+	"boosthd/internal/faults"
 	"boosthd/internal/hdc"
 	"boosthd/internal/par"
 )
@@ -181,6 +182,25 @@ func (bm *BinaryModel) Refresh() {
 	bm.snap.Store(snapshot(bm.model, bm.snap.Load()))
 }
 
+// Rethreshold rebuilds the quantized snapshot from the float class
+// memory unconditionally, bypassing the version-keyed plane reuse that
+// Refresh performs. This is the reliability repair path for silent
+// corruption of the quantized planes: word faults flip stored bits
+// without touching learner versions (hardware does not announce its
+// faults), so a version-gated refresh would happily reuse the corrupted
+// planes. Mask popcounts are recomputed, healing stale stored counts
+// too. It fails on a frozen snapshot — there is no float memory to
+// re-threshold from; restore those from a verified checkpoint instead.
+func (bm *BinaryModel) Rethreshold() error {
+	if bm.frozen {
+		return fmt.Errorf("infer: rethreshold: frozen binary snapshot has no float class memory")
+	}
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	bm.snap.Store(snapshot(bm.model, nil))
+	return nil
+}
+
 // syncQuantization re-thresholds if the float model mutated since the
 // snapshot, so the binary backend never silently serves stale memories.
 // In-flight readers keep scoring their loaded snapshot; new calls see
@@ -234,6 +254,13 @@ func (bm *BinaryModel) predictBits(qz *quantization, q []*hdc.BitVector, agg, sc
 	}
 	score := bm.model.Cfg.Aggregation == boosthd.Score
 	for i, cls := range qz.class {
+		if bm.model.Alphas[i] == 0 {
+			// Skip quarantined / zero-weight learners outright: their
+			// planes may be corrupted (that is why reliability masked
+			// them), and a 0/0 from a zeroed mask popcount would NaN the
+			// aggregate a plain 0-weighted add was supposed to ignore.
+			continue
+		}
 		qi := q[i]
 		for c, cb := range cls {
 			mb := qz.mask[i][c]
@@ -343,6 +370,126 @@ func (bm *BinaryModel) PredictBatch(X [][]float64) ([]int, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// InjectWordFaults flips bits of the quantized class memory — sign
+// planes and confidence masks — under the injector's per-bit
+// probability: the packed-binary analogue of Model.InjectClassFaults,
+// emulating memory faults in the deployed word-parallel representation.
+// Snapshots are immutable (readers score them lock-free), so the faults
+// are applied to a deep copy that is atomically swapped in: in-flight
+// batches finish on the memory they loaded, every later call scores the
+// corrupted planes. The corruption is silent, exactly like hardware:
+// learner versions and the stored mask popcounts are NOT updated, so
+// nothing downstream re-thresholds it away — detection is the
+// reliability scrubber's job. It returns the number of flipped bits.
+func (bm *BinaryModel) InjectWordFaults(inj *faults.Injector) int {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	qz := bm.snap.Load()
+	corrupt := &quantization{
+		class:    make([][]*hdc.BitVector, len(qz.class)),
+		mask:     make([][]*hdc.BitVector, len(qz.mask)),
+		maskOnes: qz.maskOnes, // stored popcounts stay stale on purpose
+		versions: qz.versions,
+	}
+	flips := 0
+	for i := range qz.class {
+		corrupt.class[i] = make([]*hdc.BitVector, len(qz.class[i]))
+		corrupt.mask[i] = make([]*hdc.BitVector, len(qz.mask[i]))
+		for c := range qz.class[i] {
+			sign := qz.class[i][c].Clone()
+			mask := qz.mask[i][c].Clone()
+			flips += inj.InjectWords(sign.Words, mask.Words)
+			corrupt.class[i][c] = sign
+			corrupt.mask[i][c] = mask
+		}
+	}
+	bm.snap.Store(corrupt)
+	return flips
+}
+
+// ReadPlanes runs fn over every (learner, class) pair of the current
+// quantized snapshot: the packed sign and mask words plus the learner
+// version the snapshot was thresholded at. The snapshot is immutable, so
+// fn may compute over the words freely but must not mutate or retain
+// them. This is the reliability scrubber's read path for its XOR-fold
+// parity signatures.
+func (bm *BinaryModel) ReadPlanes(fn func(learner, class int, version uint64, sign, mask []uint64)) {
+	qz := bm.snap.Load()
+	for i := range qz.class {
+		for c := range qz.class[i] {
+			fn(i, c, qz.versions[i], qz.class[i][c].Words, qz.mask[i][c].Words)
+		}
+	}
+}
+
+// withView returns a BinaryModel serving the same quantized snapshot
+// through a different model view (shared learners, private alphas) —
+// the quarantine path's engine rebuild, which must not pay (or trust!)
+// a re-quantization of possibly-corrupted float memory.
+func (bm *BinaryModel) withView(view *boosthd.Model) *BinaryModel {
+	out := &BinaryModel{model: view, segDims: bm.segDims, frozen: bm.frozen}
+	out.snap.Store(bm.snap.Load())
+	return out
+}
+
+// EvaluateLearners scores each weak learner standalone on a labeled set
+// through the current quantized snapshot: per-segment sign-bit encoding,
+// masked Hamming scoring against that learner's planes only, no alpha
+// weighting. The reliability canary uses it to catch a learner whose
+// quantized memory still passes parity but whose accuracy collapsed —
+// and, for frozen snapshots, it is the only learner-level probe at all
+// (there is no float memory to score).
+func (bm *BinaryModel) EvaluateLearners(X [][]float64, y []int) ([]float64, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("infer: bad learner evaluation set (%d rows, %d labels)", len(X), len(y))
+	}
+	qz := bm.snap.Load()
+	classes := bm.model.Cfg.Classes
+	right := make([]int, len(qz.class))
+	scores := make([]float64, classes)
+	q := make([][]*hdc.BitVector, predictBatchRows)
+	for r := range q {
+		q[r] = bm.NewQueryBits()
+	}
+	for lo := 0; lo < len(X); lo += predictBatchRows {
+		hi := lo + predictBatchRows
+		if hi > len(X) {
+			hi = len(X)
+		}
+		if err := bm.model.EncodeSegmentBitsBatch(X[lo:hi], q[:hi-lo]); err != nil {
+			return nil, fmt.Errorf("infer: rows [%d,%d): %w", lo, hi, err)
+		}
+		for r := lo; r < hi; r++ {
+			qr := q[r-lo]
+			for i, cls := range qz.class {
+				qi := qr[i]
+				for c, cb := range cls {
+					mb := qz.mask[i][c]
+					dis := 0
+					for w, qw := range qi.Words {
+						dis += popcount((qw ^ cb.Words[w]) & mb.Words[w])
+					}
+					scores[c] = 1 - 2*float64(dis)/qz.maskOnes[i][c]
+				}
+				best := 0
+				for c := 1; c < classes; c++ {
+					if scores[c] > scores[best] {
+						best = c
+					}
+				}
+				if best == y[r] {
+					right[i]++
+				}
+			}
+		}
+	}
+	acc := make([]float64, len(right))
+	for i, n := range right {
+		acc[i] = float64(n) / float64(len(y))
+	}
+	return acc, nil
 }
 
 // Evaluate returns plain accuracy on a labeled set.

@@ -104,3 +104,36 @@ func (e *Engine) Evaluate(X [][]float64, y []int) (float64, error) {
 	}
 	return e.model.Evaluate(X, y)
 }
+
+// EvaluateLearners scores each weak learner standalone on a labeled set
+// through the backend that actually serves — the reliability canary
+// probe. The binary backend scores its quantized planes (the memory that
+// could be corrupted), the float backend the float class vectors.
+func (e *Engine) EvaluateLearners(X [][]float64, y []int) ([]float64, error) {
+	if e.backend == PackedBinary {
+		return e.bin.EvaluateLearners(X, y)
+	}
+	return e.model.EvaluateLearners(X, y)
+}
+
+// Remask builds the serving engine for a quarantine mask: an
+// alpha-masked view of base — the model whose Alphas carry the true
+// boosting weights, so learners can be unmasked again after repair —
+// served through cur's backend. masked[i] true zeroes learner i's vote,
+// and the scoring paths never touch that learner's (possibly corrupted)
+// memory. The expensive backend state is shared, not rebuilt: the view
+// shares base's live learners, and a packed-binary view additionally
+// shares cur's current quantized snapshot, so a quarantine never
+// re-thresholds from float memory it has no reason to trust. The result
+// is the reliability subsystem's swap unit: hand it to serve.Server.Swap
+// and requests atomically stop counting the quarantined learners.
+func Remask(cur *Engine, base *boosthd.Model, masked []bool) (*Engine, error) {
+	view, err := base.MaskedAlphaView(masked)
+	if err != nil {
+		return nil, fmt.Errorf("infer: remask: %w", err)
+	}
+	if cur.backend == PackedBinary {
+		return &Engine{model: view, backend: PackedBinary, bin: cur.bin.withView(view)}, nil
+	}
+	return &Engine{model: view, backend: Float}, nil
+}

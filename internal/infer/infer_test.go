@@ -373,3 +373,143 @@ func TestBinaryConcurrentServingWithFaults(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestRemaskSkipsPoisonedLearner: a quarantined learner's memory can
+// hold NaN/Inf after bit flips; the masked engine must never read it —
+// predictions match a clean model with the same learner masked, on both
+// backends, even when the masked memory is all-NaN.
+func TestRemaskSkipsPoisonedLearner(t *testing.T) {
+	m, X, _ := fixture(t, 320, 4)
+	pristine := m.Clone()
+	mask := []bool{false, true, false, false}
+
+	view, err := pristine.MaskedAlphaView(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFloat, err := NewEngine(view).PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := NewBinaryEngine(pristine.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBin, err := Remask(pb, pb.Model(), mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBin, err := refBin.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the masked learner completely.
+	m.Learners[1].MutateClass(func(class []hdc.Vector) {
+		for _, cv := range class {
+			for k := range cv {
+				cv[k] = math.NaN()
+			}
+		}
+	})
+	floatEng, err := Remask(NewEngine(m), m, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := floatEng.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != wantFloat[i] {
+			t.Fatalf("float masked prediction %d: %d != %d", i, got[i], wantFloat[i])
+		}
+	}
+	binEng, err := NewBinaryEngine(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binMasked, err := Remask(binEng, m, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBin, err := binMasked.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gotBin {
+		if gotBin[i] != wantBin[i] {
+			t.Fatalf("binary masked prediction %d: %d != %d", i, gotBin[i], wantBin[i])
+		}
+	}
+}
+
+// TestRethresholdHealsWordFaults: silent word faults never bump
+// versions, so a version-gated Refresh must NOT heal them while
+// Rethreshold must restore the exact pristine planes (and predictions).
+func TestRethresholdHealsWordFaults(t *testing.T) {
+	m, X, _ := fixture(t, 320, 4)
+	bm, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bm.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(1e-3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := 0
+	for attempt := 0; attempt < 100 && flips == 0; attempt++ {
+		flips = bm.InjectWordFaults(inj)
+	}
+	if flips == 0 {
+		t.Fatal("no bits flipped")
+	}
+	if bm.Stale() {
+		t.Fatal("word faults must be invisible to the version check")
+	}
+	// A version-gated Refresh reuses the (corrupted) planes wholesale.
+	bm.Refresh()
+	if err := bm.Rethreshold(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bm.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("post-rethreshold prediction %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEvaluateLearnersSoloAccuracy: per-learner canary accuracies must
+// be sane on both backends — above chance for a trained model, and
+// collapsing for a learner whose memory is zeroed.
+func TestEvaluateLearnersSoloAccuracy(t *testing.T) {
+	m, X, y := fixture(t, 320, 4)
+	accF, err := m.EvaluateLearners(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accB, err := bm.EvaluateLearners(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accF) != 4 || len(accB) != 4 {
+		t.Fatalf("per-learner accuracy lengths %d/%d, want 4", len(accF), len(accB))
+	}
+	for i := range accF {
+		if accF[i] < 0.4 || accB[i] < 0.4 {
+			t.Errorf("learner %d solo accuracy collapsed: float %.3f binary %.3f", i, accF[i], accB[i])
+		}
+	}
+}

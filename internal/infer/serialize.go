@@ -102,6 +102,9 @@ func LoadBinary(r io.Reader) (*BinaryModel, error) {
 	if err := gob.NewDecoder(body).Decode(&bw); err != nil {
 		return nil, fmt.Errorf("infer: load binary: %w", err)
 	}
+	if err := wire.CheckDims(bw.Cfg.TotalDim, bw.InDim, bw.Cfg.Classes, bw.Cfg.NumLearners); err != nil {
+		return nil, fmt.Errorf("infer: load binary: %w", err)
+	}
 	shell, err := boosthd.Rehydrate(bw.Cfg, bw.InDim, bw.Gamma)
 	if err != nil {
 		return nil, fmt.Errorf("infer: load binary: %w", err)

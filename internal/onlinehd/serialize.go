@@ -62,6 +62,9 @@ func Load(r io.Reader) (*Model, error) {
 	if err := gob.NewDecoder(body).Decode(&mw); err != nil {
 		return nil, fmt.Errorf("onlinehd: load: %w", err)
 	}
+	if err := wire.CheckDims(mw.Cfg.Dim, mw.InDim, mw.Cfg.Classes, 1); err != nil {
+		return nil, fmt.Errorf("onlinehd: load: %w", err)
+	}
 	enc, err := encoding.NewWithGamma(mw.InDim, mw.Cfg.Dim, mw.Cfg.Encoder, mw.Gamma, mw.Cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("onlinehd: load: %w", err)

@@ -1,0 +1,953 @@
+// Package reliability is the runtime integrity subsystem for serving
+// BoostHD models: it turns the paper's offline robustness claim — the
+// boosted ensemble tolerates memory bit-flips — into a live serving
+// guarantee. A Monitor watches the model memory behind a serve.Server
+// through three mechanisms layered from cheap to semantic:
+//
+//  1. Detection. Every weak learner's memory is signed: XOR-fold parity
+//     words plus position-mixed digests over the packed-binary sign and
+//     mask planes, and checksums over the float class hypervectors. A
+//     background scrubber re-walks the memory on a period and compares.
+//     A small held-out canary set additionally scores each learner solo,
+//     catching accuracy collapse a memory checksum cannot attribute
+//     (e.g. corruption that predates quantization, or drift).
+//
+//  2. Response. Corrupted or collapsed learners are quarantined by
+//     zeroing their vote: an alpha-masked view of the model is built
+//     (scoring skips zero-alpha learners entirely, so the corrupted
+//     memory is never read) and installed through the server's atomic
+//     engine swap — requests never see a torn model, and the ensemble
+//     redundancy the paper sells is exactly what keeps accuracy up
+//     while degraded.
+//
+//  3. Repair. Quarantined learners are restored: plane-only corruption
+//     on a packed-binary backend re-thresholds from the intact float
+//     memory; float corruption restores the learner's class vectors
+//     from the last verified checkpoint; with a trainer attached, a
+//     full hot retrain over its sample buffer rebuilds everything. A
+//     repaired learner is re-signed, canary-verified, and un-masked.
+package reliability
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/infer"
+	"boosthd/internal/serve"
+)
+
+// Config tunes a Monitor.
+type Config struct {
+	// ScrubEvery is the background scrub (and auto-repair) period; zero
+	// means no background loop — Scrub/Repair are driven manually.
+	ScrubEvery time.Duration
+	// QuarantineDrop is the absolute canary-accuracy drop below a
+	// learner's signed baseline that quarantines it. Zero selects the
+	// 0.15 default — exact-zero tolerance is not expressible (and would
+	// quarantine on ordinary canary noise; use a small positive value).
+	QuarantineDrop float64
+	// CheckpointPath names the last verified checkpoint OF THE SERVING
+	// MODEL (a float ensemble written by Model.Save): the repair source
+	// for corrupted float class memory, and — for a frozen binary
+	// snapshot, which has no float memory at all — the full-reload
+	// source. Empty disables checkpoint repair. If the serving engine
+	// later changes hands (operator swap, trainer retrain), the
+	// checkpoint no longer describes the serving model and checkpoint
+	// repair disarms automatically; re-arm with SetCheckpoint.
+	CheckpointPath string
+	// Trainer, when set, is the fallback repair source: a corrupted
+	// learner with no checkpoint to restore from triggers a targeted
+	// refit through the trainer's existing hot-retrain path.
+	Trainer serve.Trainer
+	// TrustVersioned treats a learner whose version counter advanced
+	// since signing as legitimately mutated (streaming online updates,
+	// in-place fits): it is re-signed instead of flagged. Leave false
+	// for a static serving model, where any mutation is corruption —
+	// fault injection through the locked paths bumps versions too, and
+	// strict mode catches it. The canary check guards both modes.
+	TrustVersioned bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.QuarantineDrop == 0 {
+		c.QuarantineDrop = 0.15
+	}
+	return c
+}
+
+// entry is one learner's row in the health ledger.
+type entry struct {
+	sig         learnerSig
+	quarantined bool
+	// canarySuspect marks a quarantine the canary contributed to: the
+	// learner's memory cannot be trusted even where its signatures
+	// agree (a TrustVersioned deployment re-signs legitimate-looking
+	// mutations), so repair must restore it from an external source
+	// rather than re-threshold in place.
+	canarySuspect bool
+
+	integrityFaults uint64
+	canaryFaults    uint64
+	repairs         uint64
+
+	baseline  float64 // solo canary accuracy at signing
+	last      float64 // most recent solo canary accuracy
+	hasCanary bool
+}
+
+// ScrubReport describes one scrub pass.
+type ScrubReport struct {
+	// Adopted is true when the serving engine changed hands since the
+	// last pass (operator swap, trainer retrain): the monitor re-signed
+	// the new model instead of scrubbing signatures it no longer holds.
+	Adopted bool `json:"adopted,omitempty"`
+	// IntegrityFaults and CanaryFaults list learners flagged this pass.
+	IntegrityFaults []int `json:"integrity_faults,omitempty"`
+	CanaryFaults    []int `json:"canary_faults,omitempty"`
+	// Quarantined lists learners newly quarantined this pass.
+	Quarantined []int `json:"quarantined,omitempty"`
+	// Swapped is true when the quarantine mask changed and a rebuilt
+	// engine was installed.
+	Swapped bool    `json:"swapped,omitempty"`
+	TookMS  float64 `json:"took_ms"`
+}
+
+// RepairReport describes one repair pass.
+type RepairReport struct {
+	Repaired []int   `json:"repaired,omitempty"`
+	Failed   []int   `json:"failed,omitempty"`
+	Source   string  `json:"source,omitempty"` // rethreshold, checkpoint, trainer
+	Swapped  bool    `json:"swapped,omitempty"`
+	Reason   string  `json:"reason,omitempty"` // why nothing was repaired
+	TookMS   float64 `json:"took_ms"`
+}
+
+// Monitor owns the reliability loop for one serve.Server. All methods
+// are safe for concurrent use. Two locks split responsiveness from
+// serialization: passMu serializes whole Scrub/Repair passes (so the
+// background loop and manual calls never interleave), while mu guards
+// the monitor state and is RELEASED around the slow repair steps
+// (checkpoint load, trainer retrain) — /healthz and /reliability keep
+// answering while the monitor is mid-heal.
+type Monitor struct {
+	cfg Config
+	srv *serve.Server
+
+	passMu sync.Mutex // serializes Scrub/Repair passes end to end
+
+	mu          sync.Mutex
+	cur         *infer.Engine  // engine the monitor installed or signed last
+	base        *boosthd.Model // model carrying the true (unmasked) alphas
+	ledger      []*entry
+	masked      []bool
+	canaryX     [][]float64
+	canaryY     []int
+	lastScrubMS float64
+	lastErr     string
+	// autoStuck marks a repair attempt that restored nothing while
+	// something stayed quarantined: the background loop stops retrying
+	// (each retry would redo the full re-threshold + canary pass and
+	// inflate the failure counters) until a scrub changes the picture —
+	// a new quarantine, an adoption, or a manual Repair.
+	autoStuck bool
+	// ckptArmed is true while CheckpointPath still describes the model
+	// behind the serving engine. Adopting a foreign engine (operator
+	// swap, trainer retrain) disarms it: restoring learners from a
+	// checkpoint of a DIFFERENT model would graft stale weights into
+	// the new one and re-sign the chimera as healthy.
+	ckptArmed bool
+
+	scrubs      atomic.Uint64
+	detections  atomic.Uint64
+	quarantines atomic.Uint64
+	repairs     atomic.Uint64
+	repairFails atomic.Uint64
+
+	loopMu sync.Mutex
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// New builds a Monitor over the model behind srv's current serving
+// engine and signs it immediately: the engine installed at construction
+// is the trusted baseline. When CheckpointPath is set, the checkpoint is
+// opened once up front so a missing or unreadable repair source fails at
+// configuration time, not mid-incident.
+func New(srv *serve.Server, cfg Config) (*Monitor, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("reliability: nil server")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.QuarantineDrop < 0 || cfg.QuarantineDrop > 1 {
+		return nil, fmt.Errorf("reliability: quarantine drop %v outside [0,1]", cfg.QuarantineDrop)
+	}
+	if cfg.CheckpointPath != "" {
+		if err := validateCheckpoint(srv.Engine(), cfg.CheckpointPath); err != nil {
+			return nil, fmt.Errorf("reliability: repair checkpoint: %w", err)
+		}
+	}
+	mo := &Monitor{cfg: cfg, srv: srv, ckptArmed: cfg.CheckpointPath != ""}
+	mo.adoptLocked(srv.Engine())
+	return mo, nil
+}
+
+// Config returns the resolved configuration.
+func (mo *Monitor) Config() Config {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return mo.cfg
+}
+
+// SetCheckpoint re-arms checkpoint repair with a checkpoint of the
+// CURRENT serving model — the call an operator makes after swapping in
+// a new checkpoint, so the monitor can restore from it again. The file
+// is validated (loadable; geometry-compatible for a non-frozen model)
+// before anything changes.
+func (mo *Monitor) SetCheckpoint(path string) error {
+	if path == "" {
+		return fmt.Errorf("reliability: empty checkpoint path")
+	}
+	mo.passMu.Lock()
+	defer mo.passMu.Unlock()
+	mo.mu.Lock()
+	cur := mo.cur
+	mo.mu.Unlock()
+	if err := validateCheckpoint(cur, path); err != nil {
+		return fmt.Errorf("reliability: repair checkpoint: %w", err)
+	}
+	mo.mu.Lock()
+	mo.cfg.CheckpointPath = path
+	mo.ckptArmed = true
+	mo.mu.Unlock()
+	return nil
+}
+
+// validateCheckpoint verifies path is a usable repair source for the
+// serving engine: loadable, and geometry-compatible with the model
+// behind cur. For a frozen snapshot — whose repair unit is a wholesale
+// engine reload — the comparison runs against the reloaded engine's
+// model shell, so a checkpoint of a different model cannot be swapped
+// into a serving contract it does not satisfy.
+func validateCheckpoint(cur *infer.Engine, path string) error {
+	if bin := cur.Binary(); bin != nil && bin.Frozen() {
+		eng, err := serve.LoadEngine(path, "binary")
+		if err != nil {
+			return err
+		}
+		return compatible(cur.Model(), eng.Model())
+	}
+	m, err := loadCheckpointModel(path)
+	if err != nil {
+		return err
+	}
+	return compatible(cur.Model(), m)
+}
+
+// SetCanary installs a held-out labeled canary set and records each
+// learner's solo accuracy on it as its health baseline. The rows are
+// deep-copied — the canary is the reference the scrubber trusts, so no
+// caller alias may reach it afterwards.
+func (mo *Monitor) SetCanary(X [][]float64, y []int) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return fmt.Errorf("reliability: bad canary set (%d rows, %d labels)", len(X), len(y))
+	}
+	// passMu keeps the install out of a running pass: Scrub and Repair
+	// read the canary slices with the state lock released.
+	mo.passMu.Lock()
+	defer mo.passMu.Unlock()
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	want := mo.base.InputDim()
+	classes := mo.base.Cfg.Classes
+	cx := make([][]float64, len(X))
+	cy := make([]int, len(y))
+	for i, row := range X {
+		if len(row) != want {
+			return fmt.Errorf("reliability: canary row %d has %d features, model expects %d", i, len(row), want)
+		}
+		if y[i] < 0 || y[i] >= classes {
+			return fmt.Errorf("reliability: canary label %d at row %d outside [0,%d)", y[i], i, classes)
+		}
+		cx[i] = append([]float64(nil), row...)
+		cy[i] = y[i]
+	}
+	mo.canaryX, mo.canaryY = cx, cy
+	return mo.baselineCanaryLocked()
+}
+
+// baselineCanaryLocked scores every learner on the canary set and
+// records the accuracies as baselines.
+func (mo *Monitor) baselineCanaryLocked() error {
+	if len(mo.canaryX) == 0 {
+		return nil
+	}
+	acc, err := mo.cur.EvaluateLearners(mo.canaryX, mo.canaryY)
+	if err != nil {
+		return fmt.Errorf("reliability: canary baseline: %w", err)
+	}
+	for i, e := range mo.ledger {
+		e.baseline, e.last, e.hasCanary = acc[i], acc[i], true
+	}
+	return nil
+}
+
+// adoptLocked re-points the monitor at eng: fresh ledger, empty
+// quarantine mask, signatures taken from the memory behind it, canary
+// baselines recomputed when a canary set is installed. The engine is
+// presumed verified — adoption is for engines installed by trusted
+// actors (construction, operator swap, trainer retrain, repair).
+func (mo *Monitor) adoptLocked(eng *infer.Engine) {
+	mo.cur = eng
+	mo.base = eng.Model()
+	sigs := signModel(mo.base, eng.Binary())
+	mo.ledger = make([]*entry, len(sigs))
+	for i := range sigs {
+		mo.ledger[i] = &entry{sig: sigs[i]}
+	}
+	mo.masked = make([]bool, len(sigs))
+	if len(mo.canaryX) > 0 {
+		if err := mo.baselineCanaryLocked(); err != nil {
+			// The adopted model cannot score the canary (for example a
+			// different feature width): drop the canary rather than
+			// flag every learner against a baseline that no longer
+			// applies, and surface the reason in Status.
+			mo.canaryX, mo.canaryY = nil, nil
+			for _, e := range mo.ledger {
+				e.hasCanary = false
+			}
+			mo.lastErr = err.Error()
+		}
+	}
+}
+
+// verdict classifies one learner's current memory against its signature.
+type verdict int
+
+const (
+	vClean verdict = iota
+	vResign
+	vCorrupt
+)
+
+// judge compares a freshly computed signature against the signed one.
+// A version counter that moved means some locked mutation path ran: a
+// deployment with live training trusts it (re-sign), a static serving
+// model treats it as corruption — hardware faults do not take locks,
+// but neither does anything else legitimately touch a static model.
+// With versions in agreement, any parity/digest mismatch is corruption.
+func judge(old, cur *learnerSig, trust bool) verdict {
+	moved := (old.hasFloat && cur.version != old.version) ||
+		(old.hasPlanes && cur.planeVersion != old.planeVersion)
+	if moved {
+		if trust {
+			return vResign
+		}
+		return vCorrupt
+	}
+	if old.hasFloat && !cur.floatEqual(old) {
+		return vCorrupt
+	}
+	if old.hasPlanes && !cur.planesEqual(old) {
+		return vCorrupt
+	}
+	return vClean
+}
+
+// Scrub runs one detection pass: verify every healthy learner's
+// integrity signatures, score the canary, quarantine what failed, and
+// — when the quarantine mask changed — install a rebuilt alpha-masked
+// engine through the server's atomic swap. Already-quarantined learners
+// are skipped (their memory is known bad until repaired). If the
+// serving engine changed hands since the last pass, the monitor adopts
+// and re-signs it instead.
+func (mo *Monitor) Scrub() (ScrubReport, error) {
+	mo.passMu.Lock()
+	defer mo.passMu.Unlock()
+	start := time.Now()
+	report := ScrubReport{}
+	defer func() {
+		report.TookMS = time.Since(start).Seconds() * 1e3
+		mo.mu.Lock()
+		mo.lastScrubMS = report.TookMS
+		mo.mu.Unlock()
+		mo.scrubs.Add(1)
+	}()
+
+	mo.mu.Lock()
+	if eng := mo.srv.Engine(); eng != mo.cur {
+		mo.adoptForeignLocked(eng)
+		report.Adopted = true
+		mo.mu.Unlock()
+		return report, nil
+	}
+	cur, base := mo.cur, mo.base
+	canaryX, canaryY := mo.canaryX, mo.canaryY
+	mo.mu.Unlock()
+
+	// The heavy reads — full-memory signing and the canary sweep — run
+	// with the state lock released, so Status (and therefore /healthz
+	// and /reliability) keeps answering mid-scrub. passMu keeps other
+	// passes (and SetCanary/SetCheckpoint) out, and external swaps only
+	// change srv.Engine(), which the next pass adopts.
+	sigs := signModel(base, cur.Binary())
+	var acc []float64
+	var canaryErr error
+	if len(canaryX) > 0 {
+		acc, canaryErr = cur.EvaluateLearners(canaryX, canaryY)
+	}
+
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	flagged := make([]bool, len(mo.ledger))
+	for i, e := range mo.ledger {
+		if e.quarantined {
+			continue
+		}
+		switch judge(&e.sig, &sigs[i], mo.cfg.TrustVersioned) {
+		case vResign:
+			e.sig = sigs[i]
+		case vCorrupt:
+			e.integrityFaults++
+			flagged[i] = true
+			report.IntegrityFaults = append(report.IntegrityFaults, i)
+		}
+	}
+
+	// A canary failure must not stop integrity-flagged learners from
+	// being quarantined below — the error is reported after the
+	// response, not instead of it.
+	if canaryErr != nil {
+		mo.lastErr = canaryErr.Error()
+	}
+	for i := 0; acc != nil && i < len(mo.ledger); i++ {
+		e := mo.ledger[i]
+		e.last = acc[i]
+		if e.quarantined || !e.hasCanary {
+			continue
+		}
+		if e.baseline-acc[i] > mo.cfg.QuarantineDrop {
+			e.canaryFaults++
+			if !flagged[i] {
+				// A collapse the integrity signatures did NOT
+				// explain: the memory looks intact (or was
+				// legitimately re-signed), so repair cannot trust
+				// it and must restore from an external source.
+				// When integrity already attributed the damage,
+				// the signatures tell repair exactly what to
+				// restore and the cheap paths stay available.
+				e.canarySuspect = true
+				flagged[i] = true
+				report.CanaryFaults = append(report.CanaryFaults, i)
+			}
+		}
+	}
+
+	// Never mask the entire ensemble: an all-zero-alpha model answers
+	// class 0 for every request with a 200 — strictly worse than
+	// serving the least-damaged learner. Keep the flagged learner with
+	// the best current canary accuracy (lowest index without a canary)
+	// serving; it stays flagged in the ledger and the error surfaces in
+	// Status, so the total-corruption event is loud, not silent.
+	healthy := 0
+	for i, e := range mo.ledger {
+		if !e.quarantined && !flagged[i] {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		keep, best := -1, -1.0
+		for i, bad := range flagged {
+			if !bad {
+				continue
+			}
+			score := -float64(i)
+			if acc != nil && mo.ledger[i].hasCanary {
+				score = acc[i]
+			}
+			if keep == -1 || score > best {
+				keep, best = i, score
+			}
+		}
+		if keep >= 0 {
+			flagged[keep] = false
+			mo.ledger[keep].canarySuspect = false
+			mo.lastErr = fmt.Sprintf("all %d learners corrupted; keeping learner %d unmasked so the server still votes", len(mo.ledger), keep)
+		}
+	}
+
+	for i, bad := range flagged {
+		if !bad {
+			continue
+		}
+		mo.ledger[i].quarantined = true
+		mo.masked[i] = true
+		mo.detections.Add(1)
+		mo.quarantines.Add(1)
+		report.Quarantined = append(report.Quarantined, i)
+	}
+	if len(report.Quarantined) > 0 {
+		mo.autoStuck = false // the picture changed; repair may retry
+		swapped, err := mo.installMaskLocked()
+		if err != nil {
+			mo.lastErr = err.Error()
+			return report, err
+		}
+		report.Swapped = swapped
+	}
+	if canaryErr != nil {
+		return report, fmt.Errorf("reliability: canary scrub: %w", canaryErr)
+	}
+	return report, nil
+}
+
+// adoptForeignLocked adopts an engine installed by someone else —
+// operator swap or trainer retrain. Besides the normal adoption it
+// disarms checkpoint repair: the configured checkpoint described the
+// previous model, and restoring its learners into the new one would
+// graft stale weights (SetCheckpoint re-arms with a fresh file).
+func (mo *Monitor) adoptForeignLocked(eng *infer.Engine) {
+	mo.adoptLocked(eng)
+	mo.autoStuck = false
+	if mo.ckptArmed {
+		mo.ckptArmed = false
+		mo.lastErr = "serving engine changed hands; checkpoint repair disarmed until SetCheckpoint"
+	}
+}
+
+// installMaskLocked rebuilds the serving engine for the current
+// quarantine mask and installs it via compare-and-swap, reporting
+// whether it landed. A false return means the serving engine changed
+// hands mid-pass (operator checkpoint, trainer retrain): the stale
+// masked view must NOT revert that swap, so nothing is installed and
+// the next scrub adopts the new engine and re-evaluates.
+func (mo *Monitor) installMaskLocked() (bool, error) {
+	eng, err := infer.Remask(mo.cur, mo.base, mo.masked)
+	if err != nil {
+		return false, fmt.Errorf("reliability: %w", err)
+	}
+	swapped, err := mo.srv.SwapIf(mo.cur, eng)
+	if err != nil {
+		return false, fmt.Errorf("reliability: %w", err)
+	}
+	if !swapped {
+		return false, nil
+	}
+	mo.cur = eng
+	return true, nil
+}
+
+// Repair attempts to restore every quarantined learner and un-mask the
+// ones that verify afterwards:
+//
+//   - A learner whose float memory still matches its signature only has
+//     corrupted quantized planes: the binary backend re-thresholds from
+//     the intact float memory (source "rethreshold").
+//   - A learner whose float memory is corrupted restores its class
+//     vectors from the verified checkpoint (source "checkpoint"); the
+//     restore goes through the learner's locked SetClass, so serving
+//     never sees a torn vector.
+//   - With no checkpoint but a trainer attached, one hot retrain over
+//     the trainer's buffer rebuilds the whole ensemble and the monitor
+//     adopts the result (source "trainer").
+//   - A frozen binary snapshot has no float memory at all: the whole
+//     engine is reloaded from the checkpoint and adopted.
+//
+// Repaired learners are re-signed, canary-verified (when a canary set
+// is installed), and removed from the quarantine mask; the rebuilt
+// engine is installed through the server's atomic swap.
+func (mo *Monitor) Repair() (RepairReport, error) {
+	mo.passMu.Lock()
+	defer mo.passMu.Unlock()
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	start := time.Now()
+	report := RepairReport{}
+	defer func() {
+		report.TookMS = time.Since(start).Seconds() * 1e3
+		// A pass that restored nothing while something stayed
+		// quarantined cannot succeed by repetition; park the background
+		// auto-repair until the picture changes.
+		mo.autoStuck = len(report.Repaired) == 0 && len(report.Failed) > 0
+	}()
+
+	var quarantined []int
+	for i, e := range mo.ledger {
+		if e.quarantined {
+			quarantined = append(quarantined, i)
+		}
+	}
+	if len(quarantined) == 0 {
+		report.Reason = "nothing quarantined"
+		return report, nil
+	}
+
+	bin := mo.cur.Binary()
+	if bin != nil && bin.Frozen() {
+		return mo.repairFrozenLocked(report, quarantined)
+	}
+
+	// Decide per learner whether the float memory itself is damaged or
+	// only the derived quantized planes are.
+	sigs := signModel(mo.base, nil)
+	var needFloat []int
+	for _, i := range quarantined {
+		if !sigs[i].floatEqual(&mo.ledger[i].sig) || mo.ledger[i].canarySuspect {
+			needFloat = append(needFloat, i)
+		}
+	}
+	report.Source = "rethreshold"
+
+	if len(needFloat) > 0 {
+		switch {
+		case mo.cfg.CheckpointPath != "" && mo.ckptArmed:
+			// The checkpoint read is disk I/O that can be slow at paper
+			// scale: release the state lock so Status keeps answering.
+			mo.mu.Unlock()
+			ckpt, err := loadCheckpointModel(mo.cfg.CheckpointPath)
+			mo.mu.Lock()
+			if err == nil {
+				err = compatible(mo.base, ckpt)
+			}
+			if err != nil {
+				// A bad or missing checkpoint dooms only the learners
+				// that needed it; plane-only learners still heal below.
+				mo.failRepair(&report, needFloat, err)
+				break
+			}
+			restored := false
+			for _, i := range needFloat {
+				// The checkpoint model is private to this call, so its
+				// class vectors can be read directly; SetClass installs
+				// a deep copy under the live learner's write lock.
+				if err := mo.base.Learners[i].SetClass(ckpt.Learners[i].Class); err != nil {
+					mo.failRepair(&report, []int{i}, err)
+					continue
+				}
+				restored = true
+			}
+			if restored {
+				report.Source = "checkpoint"
+			}
+		case mo.cfg.Trainer != nil:
+			return mo.repairViaTrainerLocked(report, quarantined)
+		default:
+			// Float corruption with no restore source (never
+			// configured, or disarmed because the serving model no
+			// longer derives from the configured checkpoint): those
+			// learners stay quarantined; plane-only learners can still
+			// heal.
+			mo.failRepair(&report, needFloat,
+				fmt.Errorf("reliability: float memory corrupted and no armed checkpoint or trainer to restore from"))
+		}
+	}
+
+	failed := map[int]bool{}
+	for _, i := range report.Failed {
+		failed[i] = true
+	}
+	if len(failed) == len(quarantined) {
+		// Nothing left to heal this pass: skip the full re-threshold,
+		// re-sign, and canary sweep a doomed retry would pay.
+		report.Reason = "no repair source for any quarantined learner"
+		return report, nil
+	}
+
+	// The verification sweep — re-threshold, re-sign, canary — walks
+	// the full model memory: run it with the state lock released (like
+	// Scrub's heavy reads) so Status keeps answering. passMu keeps the
+	// state this block reads stable.
+	cur, base := mo.cur, mo.base
+	canaryX, canaryY := mo.canaryX, mo.canaryY
+	mo.mu.Unlock()
+	var rethErr error
+	if bin != nil {
+		// Re-threshold the quantized memory from the (now clean) float
+		// memory: heals silent plane corruption, which never bumps
+		// versions and so would survive a version-gated refresh.
+		rethErr = bin.Rethreshold()
+	}
+	var fresh []learnerSig
+	var canary []float64
+	var canaryErr error
+	if rethErr == nil {
+		fresh = signModel(base, cur.Binary())
+		if len(canaryX) > 0 {
+			canary, canaryErr = cur.EvaluateLearners(canaryX, canaryY)
+		}
+	}
+	mo.mu.Lock()
+	if rethErr != nil {
+		rerr := mo.failRepair(&report, quarantined, rethErr)
+		return report, rerr
+	}
+	if canaryErr != nil {
+		rerr := mo.failRepair(&report, quarantined, canaryErr)
+		return report, rerr
+	}
+	for _, i := range quarantined {
+		if failed[i] {
+			continue
+		}
+		e := mo.ledger[i]
+		if canary != nil {
+			e.last = canary[i]
+			if e.hasCanary && e.baseline-canary[i] > mo.cfg.QuarantineDrop {
+				// Restored memory still scores collapsed: the damage is
+				// upstream of what this pass can fix.
+				report.Failed = append(report.Failed, i)
+				mo.repairFails.Add(1)
+				continue
+			}
+			e.baseline = canary[i]
+		}
+		e.sig = fresh[i]
+		e.quarantined = false
+		e.canarySuspect = false
+		mo.masked[i] = false
+		e.repairs++
+		mo.repairs.Add(1)
+		report.Repaired = append(report.Repaired, i)
+	}
+	if len(report.Repaired) > 0 {
+		swapped, err := mo.installMaskLocked()
+		if err != nil {
+			mo.lastErr = err.Error()
+			return report, err
+		}
+		report.Swapped = swapped
+		mo.lastErr = ""
+	}
+	return report, nil
+}
+
+// repairFrozenLocked handles the frozen-binary case: no float memory
+// exists, so the only repair is a wholesale reload of the verified
+// checkpoint. The load (disk + quantization for a float checkpoint)
+// runs with the state lock released; the install goes through the
+// compare-and-swap so a swap that landed in between is not reverted.
+func (mo *Monitor) repairFrozenLocked(report RepairReport, quarantined []int) (RepairReport, error) {
+	if mo.cfg.CheckpointPath == "" || !mo.ckptArmed {
+		report.Reason = "frozen binary snapshot and no armed checkpoint to reload"
+		err := mo.failRepair(&report, quarantined, fmt.Errorf("reliability: %s", report.Reason))
+		return report, err
+	}
+	mo.mu.Unlock()
+	eng, err := serve.LoadEngine(mo.cfg.CheckpointPath, "binary")
+	mo.mu.Lock()
+	if err != nil {
+		rerr := mo.failRepair(&report, quarantined, err)
+		return report, rerr
+	}
+	// Re-validate at repair time: the file may have been rotated since
+	// it was armed, and a wholesale reload must not change the serving
+	// contract.
+	if err := compatible(mo.base, eng.Model()); err != nil {
+		rerr := mo.failRepair(&report, quarantined, err)
+		return report, rerr
+	}
+	swapped, err := mo.srv.SwapIf(mo.cur, eng)
+	if err != nil {
+		rerr := mo.failRepair(&report, quarantined, err)
+		return report, rerr
+	}
+	if !swapped {
+		// The serving engine changed hands while the checkpoint loaded
+		// (operator swap, trainer retrain): the reload must not revert
+		// it. The next scrub adopts the new engine and re-evaluates.
+		report.Reason = "serving engine changed hands mid-repair; deferring to next scrub"
+		return report, nil
+	}
+	mo.adoptLocked(eng)
+	report.Source = "checkpoint"
+	report.Repaired = quarantined
+	report.Swapped = true
+	mo.repairs.Add(uint64(len(quarantined)))
+	mo.lastErr = ""
+	return report, nil
+}
+
+// repairViaTrainerLocked rebuilds the whole ensemble through the
+// trainer's hot-retrain path and adopts the result. The retrain is a
+// full refit that can run for minutes at paper scale, so the state
+// lock is released for its duration — passMu (held by the caller)
+// keeps other passes out, while Status keeps answering; the trainer
+// installs the result through its own retrain-atomic swap path.
+func (mo *Monitor) repairViaTrainerLocked(report RepairReport, quarantined []int) (RepairReport, error) {
+	report.Source = "trainer"
+	mo.mu.Unlock()
+	rr, err := mo.cfg.Trainer.Retrain()
+	mo.mu.Lock()
+	if err != nil {
+		rerr := mo.failRepair(&report, quarantined, err)
+		return report, rerr
+	}
+	if !rr.Swapped {
+		report.Reason = "trainer retrain skipped: " + rr.Reason
+		err := mo.failRepair(&report, quarantined, fmt.Errorf("reliability: %s", report.Reason))
+		return report, err
+	}
+	mo.adoptLocked(mo.srv.Engine())
+	// The refit model no longer derives from the configured checkpoint;
+	// checkpoint repair stays off until SetCheckpoint re-arms it.
+	mo.ckptArmed = false
+	report.Repaired = quarantined
+	report.Swapped = true
+	mo.repairs.Add(uint64(len(quarantined)))
+	mo.lastErr = ""
+	return report, nil
+}
+
+// failRepair marks the listed learners failed on the report, counts
+// the failed attempts, and records the error for Status.
+func (mo *Monitor) failRepair(report *RepairReport, failed []int, err error) error {
+	report.Failed = append(report.Failed, failed...)
+	mo.repairFails.Add(uint64(len(failed)))
+	mo.lastErr = err.Error()
+	return err
+}
+
+// Status snapshots the health ledger and counters for /reliability and
+// the healthz reliability block.
+func (mo *Monitor) Status() serve.ReliabilityStatus {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	st := serve.ReliabilityStatus{
+		Learners:    len(mo.ledger),
+		Scrubs:      mo.scrubs.Load(),
+		Detections:  mo.detections.Load(),
+		Quarantines: mo.quarantines.Load(),
+		Repairs:     mo.repairs.Load(),
+		RepairFails: mo.repairFails.Load(),
+		CanaryRows:  len(mo.canaryX),
+		LastScrubMS: mo.lastScrubMS,
+		LastError:   mo.lastErr,
+	}
+	st.Ledger = make([]serve.LearnerHealth, len(mo.ledger))
+	for i, e := range mo.ledger {
+		h := serve.LearnerHealth{
+			State:           "healthy",
+			IntegrityFaults: e.integrityFaults,
+			CanaryFaults:    e.canaryFaults,
+			Repairs:         e.repairs,
+		}
+		if e.hasCanary {
+			h.CanaryBaseline, h.CanaryLast = e.baseline, e.last
+		}
+		if e.quarantined {
+			h.State = "quarantined"
+			st.Quarantined = append(st.Quarantined, i)
+		}
+		st.Ledger[i] = h
+	}
+	st.Degraded = len(st.Quarantined) > 0
+	return st
+}
+
+// Start launches the background scrub loop (no-op when ScrubEvery is
+// zero or a loop already runs). Each tick scrubs and, when anything is
+// quarantined and a repair source exists, repairs; errors are recorded
+// in Status rather than stopping the loop.
+func (mo *Monitor) Start() {
+	if mo.cfg.ScrubEvery <= 0 {
+		return
+	}
+	mo.loopMu.Lock()
+	defer mo.loopMu.Unlock()
+	if mo.stop != nil {
+		return
+	}
+	mo.stop = make(chan struct{})
+	mo.done = make(chan struct{})
+	go mo.loop(mo.stop, mo.done)
+}
+
+func (mo *Monitor) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(mo.cfg.ScrubEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			report, err := mo.Scrub()
+			if err != nil {
+				continue
+			}
+			if report.Adopted {
+				continue
+			}
+			if mo.autoRepairable() && len(mo.Status().Quarantined) > 0 {
+				_, _ = mo.Repair()
+			}
+		}
+	}
+}
+
+// autoRepairable reports whether the background loop should attempt a
+// repair: a repair source must exist for the current backend, and the
+// previous attempt must not have been a total failure that nothing has
+// changed since (retrying those only burns a full re-threshold pass
+// per tick and inflates the failure counters).
+func (mo *Monitor) autoRepairable() bool {
+	mo.mu.Lock()
+	stuck := mo.autoStuck
+	bin := mo.cur.Binary()
+	ckpt := mo.cfg.CheckpointPath != "" && mo.ckptArmed
+	trainer := mo.cfg.Trainer != nil
+	mo.mu.Unlock()
+	if stuck {
+		return false
+	}
+	if ckpt || trainer {
+		return true
+	}
+	return bin != nil && !bin.Frozen() // plane corruption re-thresholds from float memory
+}
+
+// Stop halts the background loop and waits for an in-flight pass to
+// finish. Safe to call without Start and more than once.
+func (mo *Monitor) Stop() {
+	mo.loopMu.Lock()
+	stop, done := mo.stop, mo.done
+	mo.stop, mo.done = nil, nil
+	mo.loopMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// loadCheckpointModel reads a float ensemble checkpoint from disk.
+func loadCheckpointModel(path string) (*boosthd.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return boosthd.Load(f)
+}
+
+// compatible verifies that a checkpoint's geometry matches the live
+// model's, so a per-learner restore cannot graft vectors from a
+// different hyperspace.
+func compatible(live, ckpt *boosthd.Model) error {
+	switch {
+	case ckpt.Cfg.TotalDim != live.Cfg.TotalDim,
+		ckpt.Cfg.NumLearners != live.Cfg.NumLearners,
+		ckpt.Cfg.Classes != live.Cfg.Classes:
+		return fmt.Errorf("checkpoint geometry %d/%d/%d does not match live model %d/%d/%d",
+			ckpt.Cfg.TotalDim, ckpt.Cfg.NumLearners, ckpt.Cfg.Classes,
+			live.Cfg.TotalDim, live.Cfg.NumLearners, live.Cfg.Classes)
+	case ckpt.InputDim() != live.InputDim():
+		return fmt.Errorf("checkpoint feature width %d does not match live model %d", ckpt.InputDim(), live.InputDim())
+	case ckpt.Gamma() != live.Gamma():
+		return fmt.Errorf("checkpoint encoder bandwidth %v does not match live model %v", ckpt.Gamma(), live.Gamma())
+	}
+	return nil
+}

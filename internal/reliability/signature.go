@@ -1,0 +1,144 @@
+package reliability
+
+import (
+	"math"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/hdc"
+	"boosthd/internal/infer"
+	"boosthd/internal/par"
+)
+
+// FNV-1a 64-bit constants: the digest folds whole 64-bit words instead
+// of bytes, trading the reference formulation for an 8x cheaper pass —
+// the scrubber walks the entire model memory every period, so the fold
+// must run at word speed.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fold accumulates one storage word into an (XOR parity, position-mixed
+// digest) signature pair. The parity word is the classic scrub check —
+// one machine instruction per word, and any odd number of flips in a
+// bit lane shows immediately. Its blind spot (an even number of flips
+// in the same lane across words) is covered by the multiplicative
+// digest, which mixes word position into every step, so the pair
+// detects any realistic fault pattern while still costing two ALU ops
+// per word.
+func fold(parity, digest, word uint64) (uint64, uint64) {
+	return parity ^ word, (digest ^ word) * fnvPrime
+}
+
+// foldWords signs a packed plane.
+func foldWords(words []uint64) (parity, digest uint64) {
+	digest = fnvOffset
+	for _, w := range words {
+		parity, digest = fold(parity, digest, w)
+	}
+	return parity, digest
+}
+
+// foldFloats signs a float class hypervector over its IEEE-754 bit
+// patterns — the stored representation the fault model flips.
+func foldFloats(v hdc.Vector) (parity, digest uint64) {
+	digest = fnvOffset
+	for _, x := range v {
+		parity, digest = fold(parity, digest, math.Float64bits(x))
+	}
+	return parity, digest
+}
+
+// planeSig is the signature of one (learner, class) pair of quantized
+// planes: parity + digest over the sign plane and the confidence mask.
+type planeSig struct {
+	signParity, signDigest uint64
+	maskParity, maskDigest uint64
+}
+
+// learnerSig is one weak learner's integrity signature: the version the
+// memory was signed at, per-class checksums over the float class
+// vectors, and — when a packed-binary backend serves — per-class parity
+// words over its quantized planes.
+type learnerSig struct {
+	version uint64
+
+	hasFloat    bool
+	classParity []uint64
+	classDigest []uint64
+
+	hasPlanes    bool
+	planeVersion uint64
+	planes       []planeSig
+}
+
+// floatEqual reports whether the float-memory halves of two signatures
+// match.
+func (s *learnerSig) floatEqual(o *learnerSig) bool {
+	if s.hasFloat != o.hasFloat || len(s.classParity) != len(o.classParity) {
+		return false
+	}
+	for c := range s.classParity {
+		if s.classParity[c] != o.classParity[c] || s.classDigest[c] != o.classDigest[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// planesEqual reports whether the quantized-plane halves of two
+// signatures match.
+func (s *learnerSig) planesEqual(o *learnerSig) bool {
+	if s.hasPlanes != o.hasPlanes || len(s.planes) != len(o.planes) {
+		return false
+	}
+	for c := range s.planes {
+		if s.planes[c] != o.planes[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// signModel computes the integrity signatures of every learner of the
+// serving engine: float class-vector checksums from the model behind it
+// (skipped for a frozen binary snapshot, which has no float memory) and
+// quantized-plane parities from the binary backend when one serves.
+// Each learner's float memory is read under its read lock, so every
+// signature records a consistent (version, contents) pair; learners are
+// signed in parallel — the scrub walks the whole model memory, which is
+// exactly the data-parallel shape internal/par exists for.
+func signModel(m *boosthd.Model, bin *infer.BinaryModel) []learnerSig {
+	sigs := make([]learnerSig, len(m.Learners))
+	hasFloat := bin == nil || !bin.Frozen()
+	if hasFloat {
+		_ = par.ForEach(len(m.Learners), func(i int) error {
+			m.Learners[i].ReadClass(func(class []hdc.Vector, version uint64) {
+				s := &sigs[i]
+				s.version = version
+				s.hasFloat = true
+				s.classParity = make([]uint64, len(class))
+				s.classDigest = make([]uint64, len(class))
+				for c, cv := range class {
+					s.classParity[c], s.classDigest[c] = foldFloats(cv)
+				}
+			})
+			return nil
+		})
+	}
+	if bin != nil {
+		classes := m.Cfg.Classes
+		for i := range sigs {
+			sigs[i].hasPlanes = true
+			sigs[i].planes = make([]planeSig, classes)
+		}
+		bin.ReadPlanes(func(learner, class int, version uint64, sign, mask []uint64) {
+			s := &sigs[learner]
+			s.planeVersion = version
+			p := &s.planes[class]
+			p.signParity, p.signDigest = foldWords(sign)
+			p.maskParity, p.maskDigest = foldWords(mask)
+		})
+	}
+	return sigs
+}

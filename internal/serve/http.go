@@ -54,6 +54,46 @@ type RetrainReport struct {
 	TookMS  float64 `json:"took_ms"`
 }
 
+// Reliability is the runtime-integrity hook the HTTP layer can expose:
+// the /reliability endpoint and the healthz reliability block read its
+// status, so operators see scrub results, quarantines, and the degraded
+// flag next to the serving stats. internal/reliability provides the
+// implementation; the interface lives here so the transport layer does
+// not depend on it.
+type Reliability interface {
+	// Status snapshots the monitor's health ledger and counters.
+	Status() ReliabilityStatus
+}
+
+// LearnerHealth is one weak learner's entry in the reliability ledger.
+type LearnerHealth struct {
+	State           string  `json:"state"`                      // "healthy" or "quarantined"
+	IntegrityFaults uint64  `json:"integrity_faults,omitempty"` // signature mismatches observed
+	CanaryFaults    uint64  `json:"canary_faults,omitempty"`    // canary-accuracy collapses observed
+	Repairs         uint64  `json:"repairs,omitempty"`          // successful restores
+	CanaryBaseline  float64 `json:"canary_baseline,omitempty"`  // solo canary accuracy at signing
+	CanaryLast      float64 `json:"canary_last,omitempty"`      // most recent solo canary accuracy
+}
+
+// ReliabilityStatus is a point-in-time snapshot of the reliability
+// monitor: the per-learner health ledger plus subsystem counters.
+type ReliabilityStatus struct {
+	// Degraded is true while at least one learner is quarantined: the
+	// server answers from the remaining ensemble redundancy.
+	Degraded    bool            `json:"degraded"`
+	Learners    int             `json:"learners"`
+	Quarantined []int           `json:"quarantined,omitempty"` // quarantined learner indexes
+	Ledger      []LearnerHealth `json:"ledger,omitempty"`
+	Scrubs      uint64          `json:"scrubs"`          // scrub passes completed
+	Detections  uint64          `json:"detections"`      // corruption events detected
+	Quarantines uint64          `json:"quarantines"`     // learners quarantined (cumulative)
+	Repairs     uint64          `json:"repairs"`         // learners repaired (cumulative)
+	RepairFails uint64          `json:"repair_failures"` // repair attempts that failed
+	CanaryRows  int             `json:"canary_rows"`     // held-out canary set size (0 = integrity-only)
+	LastScrubMS float64         `json:"last_scrub_ms"`   // duration of the most recent scrub pass
+	LastError   string          `json:"last_error,omitempty"`
+}
+
 // TrainerStatus is a point-in-time snapshot of trainer counters.
 type TrainerStatus struct {
 	Observed        uint64 `json:"observed"`             // samples ingested
@@ -81,6 +121,9 @@ type HandlerConfig struct {
 	CheckpointDir string
 	// Trainer enables /observe and /retrain when non-nil.
 	Trainer Trainer
+	// Reliability enables /reliability and the healthz reliability block
+	// when non-nil.
+	Reliability Reliability
 	// AuthToken, when set, is required on every mutating endpoint
 	// (/swap, /observe, /retrain) as "Authorization: Bearer <token>";
 	// requests without it answer 401. The read-only predict and health
@@ -116,7 +159,8 @@ func Handler(s *Server) http.Handler { return NewHandler(s, HandlerConfig{}) }
 //
 //	POST /predict       {"features":[...]}            -> {"label":n}
 //	POST /predict_batch {"rows":[[...],...]}          -> {"labels":[...]}
-//	GET  /healthz                                     -> serving + trainer stats
+//	GET  /healthz                                     -> serving + trainer + reliability stats
+//	GET  /reliability                                 -> reliability ledger + counters
 //	POST /swap          {"checkpoint":"name","backend":"float|binary"} -> swap report
 //	POST /observe       {"features":[...],"label":n}  -> ingestion report
 //	                    or {"rows":[[...],...],"labels":[...]}
@@ -136,6 +180,7 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("/predict", h.predict)
 	mux.HandleFunc("/predict_batch", h.predictBatch)
 	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/reliability", h.reliability)
 	mux.HandleFunc("/swap", h.swap)
 	mux.HandleFunc("/observe", h.observe)
 	mux.HandleFunc("/retrain", h.retrain)
@@ -208,11 +253,45 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 		"mean_batch":  st.MeanBatch,
 		"swaps":       st.Swaps,
 		"queue_depth": st.QueueDepth,
+		// Model identity: backend + serving-engine generation, so an
+		// operator can confirm a swap / quarantine / repair landed
+		// (the version advances on every installed engine).
+		"model": map[string]any{
+			"backend": st.Backend,
+			"version": st.ModelVersion,
+		},
 	}
 	if h.cfg.Trainer != nil {
 		resp["trainer"] = h.cfg.Trainer.Status()
 	}
+	if h.cfg.Reliability != nil {
+		rst := h.cfg.Reliability.Status()
+		if rst.Degraded {
+			resp["status"] = "degraded"
+		}
+		resp["reliability"] = map[string]any{
+			"degraded":    rst.Degraded,
+			"quarantined": len(rst.Quarantined),
+			"scrubs":      rst.Scrubs,
+			"detections":  rst.Detections,
+			"repairs":     rst.Repairs,
+		}
+	}
 	writeJSON(w, resp)
+}
+
+// reliability answers the full reliability-monitor status: the
+// per-learner health ledger plus scrub/quarantine/repair counters —
+// the healthz block is the summary, this is the detail view.
+func (h *handler) reliability(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodGet) {
+		return
+	}
+	if h.cfg.Reliability == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no reliability monitor configured"))
+		return
+	}
+	writeJSON(w, h.cfg.Reliability.Status())
 }
 
 func (h *handler) swap(w http.ResponseWriter, r *http.Request) {

@@ -368,3 +368,106 @@ func TestObserveRetrainEndpoints(t *testing.T) {
 		t.Fatalf("/retrain without trainer: %d, want 404", resp.StatusCode)
 	}
 }
+
+// fakeReliability satisfies the Reliability hook for transport tests.
+type fakeReliability struct{ st ReliabilityStatus }
+
+func (f *fakeReliability) Status() ReliabilityStatus { return f.st }
+
+// TestHealthzModelIdentity: healthz must expose the serving backend and
+// the model version, and the version must advance across a swap so an
+// operator can confirm the swap landed.
+func TestHealthzModelIdentity(t *testing.T) {
+	ts, s, _ := httpFixture(t, HandlerConfig{})
+	read := func() map[string]any {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	body := read()
+	model, ok := body["model"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no model block: %v", body)
+	}
+	if model["backend"] != "float" {
+		t.Errorf("model backend = %v, want float", model["backend"])
+	}
+	if v := model["version"].(float64); v != 1 {
+		t.Errorf("fresh server model version = %v, want 1", v)
+	}
+	if err := s.Swap(s.Engine()); err != nil {
+		t.Fatal(err)
+	}
+	if v := read()["model"].(map[string]any)["version"].(float64); v != 2 {
+		t.Errorf("post-swap model version = %v, want 2", v)
+	}
+}
+
+// TestReliabilityEndpoint: /reliability serves the monitor status, the
+// healthz reliability block summarizes it (flipping overall status to
+// degraded), and both 404/stay-absent without a monitor.
+func TestReliabilityEndpoint(t *testing.T) {
+	bare, _, _ := httpFixture(t, HandlerConfig{})
+	resp, err := http.Get(bare.URL + "/reliability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/reliability without monitor = %d, want 404", resp.StatusCode)
+	}
+
+	rel := &fakeReliability{st: ReliabilityStatus{
+		Degraded:    true,
+		Learners:    4,
+		Quarantined: []int{2},
+		Scrubs:      9,
+		Detections:  1,
+		Ledger: []LearnerHealth{
+			{State: "healthy"}, {State: "healthy"}, {State: "quarantined"}, {State: "healthy"},
+		},
+	}}
+	ts, _, _ := httpFixture(t, HandlerConfig{Reliability: rel})
+	resp, err = http.Get(ts.URL + "/reliability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ReliabilityStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Degraded || len(st.Quarantined) != 1 || st.Quarantined[0] != 2 || st.Scrubs != 9 {
+		t.Fatalf("reliability status round-trip mismatch: %+v", st)
+	}
+	if len(st.Ledger) != 4 || st.Ledger[2].State != "quarantined" {
+		t.Fatalf("ledger round-trip mismatch: %+v", st.Ledger)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "degraded" {
+		t.Errorf("healthz status = %v, want degraded while quarantined", body["status"])
+	}
+	block, ok := body["reliability"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz has no reliability block: %v", body)
+	}
+	if block["degraded"] != true || block["quarantined"].(float64) != 1 {
+		t.Errorf("healthz reliability block mismatch: %v", block)
+	}
+}

@@ -81,6 +81,11 @@ type Stats struct {
 	Swaps      uint64  // hot-swaps performed
 	QueueDepth int     // requests queued at snapshot time
 	Backend    string  // current engine backend
+	// ModelVersion identifies the serving engine generation: 1 for the
+	// engine the server started with, +1 per Swap. Operators compare it
+	// across healthz polls to confirm a swap / quarantine / repair
+	// actually landed on the serving path.
+	ModelVersion uint64
 }
 
 // Server fronts a hot-swappable engine with the micro-batcher. All
@@ -146,6 +151,28 @@ func (s *Server) Swap(eng *infer.Engine) error {
 	return nil
 }
 
+// SwapIf installs eng only if old is still the serving engine,
+// reporting whether the install happened. Controllers that derived eng
+// from a snapshot of the serving state (the reliability monitor's
+// masked views above all) use it so a swap that landed in between — an
+// operator checkpoint, a trainer retrain — is never silently reverted
+// by a stale rebuild; the caller re-reads Engine() and reconciles
+// instead.
+func (s *Server) SwapIf(old, eng *infer.Engine) (bool, error) {
+	if eng == nil {
+		return false, fmt.Errorf("serve: swap: nil engine")
+	}
+	if !s.engine.CompareAndSwap(old, eng) {
+		return false, nil
+	}
+	s.swaps.Add(1)
+	return true, nil
+}
+
+// ModelVersion returns the serving engine generation: 1 for the engine
+// the server started with, +1 per swap (see Stats).
+func (s *Server) ModelVersion() uint64 { return s.swaps.Load() + 1 }
+
 // Predict classifies one feature vector through the micro-batcher: the
 // request is coalesced with concurrent callers into one engine batch
 // call. Blocks until the result is available (or the queue drains after
@@ -195,13 +222,15 @@ func (s *Server) Stats() Stats {
 	if batches > 0 {
 		mean = float64(served) / float64(batches)
 	}
+	swaps := s.swaps.Load()
 	return Stats{
-		Served:     served,
-		Batches:    batches,
-		MeanBatch:  mean,
-		Swaps:      s.swaps.Load(),
-		QueueDepth: len(s.reqs),
-		Backend:    s.engine.Load().Backend().String(),
+		Served:       served,
+		Batches:      batches,
+		MeanBatch:    mean,
+		Swaps:        swaps,
+		QueueDepth:   len(s.reqs),
+		Backend:      s.engine.Load().Backend().String(),
+		ModelVersion: swaps + 1,
 	}
 }
 

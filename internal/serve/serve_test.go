@@ -441,3 +441,39 @@ func TestServeBadInputIsolated(t *testing.T) {
 		t.Fatalf("server wedged after bad input: %v", err)
 	}
 }
+
+// TestSwapIf: the compare-and-swap install must refuse a stale rebuild
+// (the reliability monitor's contract for not reverting concurrent
+// operator/trainer swaps) and leave the counters untouched on refusal.
+func TestSwapIf(t *testing.T) {
+	m, _, _ := fixture(t, 320, 4)
+	orig := infer.NewEngine(m)
+	s, err := NewServer(orig, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.ModelVersion(); got != 1 {
+		t.Fatalf("fresh server version %d, want 1", got)
+	}
+	next := infer.NewEngine(m)
+	swapped, err := s.SwapIf(orig, next)
+	if err != nil || !swapped {
+		t.Fatalf("SwapIf from current engine: swapped=%v err=%v", swapped, err)
+	}
+	if got := s.ModelVersion(); got != 2 {
+		t.Fatalf("post-swap version %d, want 2", got)
+	}
+	// A stale rebuild derived from orig must not revert next.
+	stale := infer.NewEngine(m)
+	swapped, err = s.SwapIf(orig, stale)
+	if err != nil || swapped {
+		t.Fatalf("stale SwapIf: swapped=%v err=%v", swapped, err)
+	}
+	if s.Engine() != next || s.ModelVersion() != 2 {
+		t.Fatalf("stale SwapIf disturbed the serving engine or version")
+	}
+	if _, err := s.SwapIf(next, nil); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+}

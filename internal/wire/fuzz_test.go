@@ -1,0 +1,193 @@
+package wire_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/hdc"
+	"boosthd/internal/infer"
+	"boosthd/internal/onlinehd"
+	"boosthd/internal/wire"
+)
+
+// seedBlobs builds one valid checkpoint per wire format (BHDE ensemble,
+// BHDO OnlineHD, BHDB binary snapshot) from tiny trained models, so the
+// fuzzer mutates realistic structure instead of having to discover the
+// gob framing from nothing.
+func seedBlobs(t testing.TB) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	const n, features, classes = 60, 6, 2
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, features)
+		c := i % classes
+		for j := range row {
+			row[j] = rng.NormFloat64() + float64(c)
+		}
+		X[i] = row
+		y[i] = c
+	}
+
+	cfg := boosthd.DefaultConfig(96, 3, classes)
+	cfg.Epochs = 1
+	m, err := boosthd.Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ens bytes.Buffer
+	if err := m.Save(&ens); err != nil {
+		t.Fatal(err)
+	}
+
+	ocfg := onlinehd.DefaultConfig(64, classes)
+	ocfg.Epochs = 1
+	om, err := onlinehd.Train(X, y, nil, ocfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one bytes.Buffer
+	if err := om.Save(&one); err != nil {
+		t.Fatal(err)
+	}
+
+	bm, err := infer.Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := bm.Save(&bin); err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{ens.Bytes(), one.Bytes(), bin.Bytes()}
+}
+
+// FuzzLoadCheckpoint feeds arbitrary (seeded with truncated and
+// bit-flipped real checkpoints) blobs to every checkpoint loader.
+// Reliability starts at the checkpoint boundary: a corrupted blob must
+// produce a loud error — never a panic, and never a silently mis-decoded
+// model.
+func FuzzLoadCheckpoint(f *testing.F) {
+	blobs := seedBlobs(f)
+	for _, blob := range blobs {
+		f.Add(blob)
+		// Truncations at the header boundary, inside the header, and
+		// mid-payload.
+		for _, cut := range []int{0, 3, 5, len(blob) / 2, len(blob) - 1} {
+			if cut < len(blob) {
+				f.Add(blob[:cut])
+			}
+		}
+		// Bit flips in the magic, the version byte, and the gob payload.
+		for _, pos := range []int{0, 3, 4, 5, len(blob) / 3, 2 * len(blob) / 3} {
+			if pos < len(blob) {
+				mut := append([]byte(nil), blob...)
+				mut[pos] ^= 0x10
+				f.Add(mut)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := boosthd.Load(bytes.NewReader(data)); err == nil {
+			sanityCheckEnsemble(t, m)
+		}
+		if _, err := onlinehd.Load(bytes.NewReader(data)); err != nil {
+			_ = err
+		}
+		if _, err := infer.LoadBinary(bytes.NewReader(data)); err != nil {
+			_ = err
+		}
+	})
+}
+
+// sanityCheckEnsemble exercises a successfully decoded ensemble enough
+// to surface latent inconsistencies (mismatched slice lengths, absurd
+// dims) as test failures instead of panics at serving time.
+func sanityCheckEnsemble(t *testing.T, m *boosthd.Model) {
+	t.Helper()
+	if err := wire.CheckDims(m.Cfg.TotalDim, m.InputDim(), m.Cfg.Classes, m.Cfg.NumLearners); err != nil {
+		t.Fatalf("loader accepted out-of-bounds geometry: %v", err)
+	}
+	if len(m.Learners) != m.Cfg.NumLearners || len(m.Alphas) != m.Cfg.NumLearners {
+		t.Fatalf("loader accepted inconsistent learner state: %d learners, %d alphas, cfg %d",
+			len(m.Learners), len(m.Alphas), m.Cfg.NumLearners)
+	}
+	x := make([]float64, m.InputDim())
+	if _, err := m.Predict(x); err != nil {
+		t.Fatalf("loaded model cannot predict: %v", err)
+	}
+}
+
+// TestCheckDims pins the sanity bounds the loaders enforce.
+func TestCheckDims(t *testing.T) {
+	if err := wire.CheckDims(10000, 60, 3, 10); err != nil {
+		t.Fatalf("paper-scale geometry rejected: %v", err)
+	}
+	bad := []struct {
+		name                           string
+		dim, features, classes, learns int
+	}{
+		{"zero dim", 0, 10, 3, 10},
+		{"huge dim", wire.MaxDim + 1, 10, 3, 10},
+		{"zero features", 100, 0, 3, 10},
+		{"huge features", 100, wire.MaxFeatures + 1, 3, 10},
+		{"one class", 100, 10, 1, 10},
+		{"huge classes", 100, 10, wire.MaxClasses + 1, 10},
+		{"zero learners", 100, 10, 3, 0},
+		{"huge learners", 100, 10, 3, wire.MaxLearners + 1},
+		{"projection blowup", wire.MaxDim, wire.MaxFeatures, 3, 10},
+	}
+	for _, tc := range bad {
+		if err := wire.CheckDims(tc.dim, tc.features, tc.classes, tc.learns); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestLoadersRejectCorruptBlobs runs the fuzz corpus shapes directly so
+// plain `go test` (no fuzzing) still covers the checkpoint boundary.
+func TestLoadersRejectCorruptBlobs(t *testing.T) {
+	blobs := seedBlobs(t)
+	names := []string{"ensemble", "onlinehd", "binary"}
+	load := func(data []byte) (okEns, okOne, okBin bool) {
+		_, e1 := boosthd.Load(bytes.NewReader(data))
+		_, e2 := onlinehd.Load(bytes.NewReader(data))
+		_, e3 := infer.LoadBinary(bytes.NewReader(data))
+		return e1 == nil, e2 == nil, e3 == nil
+	}
+	for k, blob := range blobs {
+		okE, okO, okB := load(blob)
+		if ok := []bool{okE, okO, okB}[k]; !ok {
+			t.Fatalf("valid %s blob rejected", names[k])
+		}
+		// The two foreign loaders must reject it (type confusion).
+		count := 0
+		for _, ok := range []bool{okE, okO, okB} {
+			if ok {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("%s blob decoded by %d loaders", names[k], count)
+		}
+		// Truncations fail loudly.
+		for _, cut := range []int{0, 2, 4, len(blob) / 2, len(blob) - 1} {
+			if okE, okO, okB := load(blob[:cut]); okE || okO || okB {
+				t.Fatalf("truncated %s blob (%d bytes) decoded", names[k], cut)
+			}
+		}
+	}
+	// An oversized geometry must be rejected before any allocation: craft
+	// a legitimate ensemble blob and corrupt its stored TotalDim by
+	// re-encoding — covered structurally by TestCheckDims plus the
+	// loaders' CheckDims calls; here we just pin that a random prefix of
+	// valid gob framed with a valid header errors rather than panics.
+	head := append([]byte(wire.MagicEnsemble), wire.Version)
+	if _, err := boosthd.Load(bytes.NewReader(append(head, 0xff, 0x01, 0x02))); err == nil {
+		t.Fatal("garbage gob payload decoded")
+	}
+	_ = hdc.Vector(nil)
+}

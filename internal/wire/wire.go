@@ -82,6 +82,46 @@ func ReadHeader(r io.Reader, magic string) (version byte, body io.Reader, err er
 	return v, r, nil
 }
 
+// Checkpoint sanity bounds. A corrupted or hostile blob can carry
+// arbitrary dimension fields, and the loaders rebuild encoder stacks
+// whose allocations scale with dim*features — unchecked, a few flipped
+// bits in a varint turn a load into a multi-gigabyte allocation (or an
+// OOM kill). Every loader funnels its decoded geometry through
+// CheckDims before allocating anything derived from it.
+const (
+	// MaxDim bounds the hyperspace dimensionality a checkpoint may
+	// declare (paper scale is 1e4; 4M leaves two orders of headroom).
+	MaxDim = 1 << 22
+	// MaxFeatures bounds the raw feature width.
+	MaxFeatures = 1 << 20
+	// MaxClasses bounds the label count.
+	MaxClasses = 1 << 16
+	// MaxLearners bounds the ensemble size.
+	MaxLearners = 1 << 16
+	// MaxProjection bounds dim*features — the dominant allocation (the
+	// encoder's projection matrix, 8 bytes per entry: 512 MiB at the
+	// cap, ~100x the paper-scale setup).
+	MaxProjection = 1 << 26
+)
+
+// CheckDims validates a checkpoint's declared geometry against the
+// sanity bounds. learners may be 1 for single-model formats.
+func CheckDims(dim, features, classes, learners int) error {
+	switch {
+	case dim < 1 || dim > MaxDim:
+		return fmt.Errorf("wire: checkpoint dimension %d outside [1,%d]", dim, MaxDim)
+	case features < 1 || features > MaxFeatures:
+		return fmt.Errorf("wire: checkpoint feature width %d outside [1,%d]", features, MaxFeatures)
+	case classes < 2 || classes > MaxClasses:
+		return fmt.Errorf("wire: checkpoint class count %d outside [2,%d]", classes, MaxClasses)
+	case learners < 1 || learners > MaxLearners:
+		return fmt.Errorf("wire: checkpoint learner count %d outside [1,%d]", learners, MaxLearners)
+	case int64(dim)*int64(features) > MaxProjection:
+		return fmt.Errorf("wire: checkpoint projection %d x %d exceeds the %d-entry bound", dim, features, MaxProjection)
+	}
+	return nil
+}
+
 // describe names a magic for error messages.
 func describe(magic string) string {
 	switch magic {

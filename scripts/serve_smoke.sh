@@ -19,10 +19,10 @@ echo "== training tiny checkpoint"
 go run ./cmd/boosthd -dataset wesad -dim 800 -nl 4 -epochs 2 -runs 1 \
   -subjects 6 -samples 512 -save "$workdir/model.bhde"
 
-echo "== starting boosthd-serve with the trainer"
+echo "== starting boosthd-serve with the trainer and the reliability scrubber"
 go build -o "$workdir/boosthd-serve" ./cmd/boosthd-serve
 "$workdir/boosthd-serve" -addr 127.0.0.1:18080 -checkpoint "$workdir/model.bhde" \
-  -trainer -buffer 512 -checkpoint-dir "$workdir" &
+  -trainer -buffer 512 -checkpoint-dir "$workdir" -scrub-every 500ms &
 server_pid=$!
 
 up=""
@@ -67,6 +67,16 @@ health = call("/healthz")
 assert health["swaps"] >= 1, health
 assert health["trainer"]["retrains"] >= 1, health
 assert health["trainer"]["observed"] == 96, health
+assert health["model"]["version"] >= 2, health          # the swap landed
+assert health["model"]["backend"] == "float", health
+assert health["reliability"]["degraded"] is False, health
+
+import time
+time.sleep(1.2)  # let the scrubber tick over the retrained model
+rel = call("/reliability")
+assert rel["scrubs"] >= 1, rel
+assert rel["learners"] > 0 and not rel["degraded"], rel
+assert all(e["state"] == "healthy" for e in rel["ledger"]), rel
 print("smoke ok:", json.dumps(health))
 EOF
 
