@@ -259,17 +259,21 @@ func NewTrainer(srv *Server, cfg TrainerConfig) (*Trainer, error) {
 }
 
 // ReliabilityMonitor is the runtime integrity subsystem for a serving
-// model: integrity signatures over the model memory verified by a
-// background scrubber, a held-out canary that scores each weak learner
-// solo, quarantine of corrupted learners by alpha-masking their vote
-// through an atomic engine swap, and repair from the last verified
-// checkpoint or a trainer hot-retrain — the paper's fault-tolerance
+// model: segmented integrity signatures over the model memory verified
+// by a background scrubber, a held-out canary that scores each weak
+// learner solo, two-tier quarantine — corrupted dimension words masked
+// out of the vote, whole-learner alpha-masking as the criticality-
+// ranked fallback — installed through an atomic engine swap, and
+// surgical repair (per-learner re-threshold, per-segment checkpoint
+// restore, or a trainer hot-retrain) — the paper's fault-tolerance
 // claim turned into a live serving guarantee.
 type ReliabilityMonitor = reliability.Monitor
 
 // ReliabilityConfig tunes the monitor: scrub period, canary quarantine
-// threshold, checkpoint/trainer repair sources, and whether versioned
-// (locked) mutations are trusted.
+// threshold, signature segment width and healthy-fraction floor for
+// the dimension-vs-learner quarantine decision, checkpoint/trainer
+// repair sources, and how versioned (locked) mutations are judged
+// (strict, signed-update handoff, or trusted).
 type ReliabilityConfig = reliability.Config
 
 // ReliabilityStatus is a point-in-time snapshot of the monitor: the
@@ -293,3 +297,9 @@ func NewReliabilityMonitor(srv *Server, cfg ReliabilityConfig) (*ReliabilityMoni
 // expensive backend state. Scoring skips masked learners entirely, so
 // their (possibly corrupted) memory is never read.
 var Remask = infer.Remask
+
+// RemaskDims is the dimension-granular variant: healthy[i] non-nil
+// keeps learner i voting over only its trusted dimensions (packed
+// bitmask over the learner's local dimensions), while masked[i] true
+// still zeroes the whole vote. Both scoring backends honor the masks.
+var RemaskDims = infer.RemaskDims

@@ -13,6 +13,7 @@
 //	              [-auth-token secret]
 //	              [-trainer] [-retrain-every 0] [-buffer 4096] [-retrain-mode full|alphas]
 //	              [-scrub-every 0] [-canary 0] [-quarantine-threshold 0.15]
+//	              [-segment-words 8] [-min-healthy 0.5] [-chaos]
 //	              [-read-timeout 30s] [-write-timeout 30s] [-idle-timeout 2m]
 //	              [-shutdown-grace 15s]
 //
@@ -34,15 +35,22 @@
 // (/swap, /observe, /retrain).
 //
 // Reliability: -scrub-every starts the internal/reliability monitor — a
-// background scrubber that verifies integrity signatures over the model
-// memory (float checksums + packed-plane parity words), quarantines
-// corrupted or collapsed learners by zeroing their vote through an
-// atomic engine swap, and repairs them (re-threshold, or restore from
-// the -checkpoint file, or a trainer hot-retrain). -canary N holds N
-// rows out of the demo workload as the per-learner accuracy canary
-// (demo model only), and -quarantine-threshold sets the canary-drop
-// that quarantines. /healthz gains a model-identity and reliability
-// block; /reliability serves the full health ledger.
+// background scrubber that verifies segmented integrity signatures over
+// the model memory (float checksums + packed-plane parity words, one
+// parity+digest pair per -segment-words words), masks exactly the
+// corrupted dimension words out of the serving votes (falling back to a
+// whole-learner quarantine when the healthy fraction drops below
+// -min-healthy or the masked segments' canary-measured criticality
+// exceeds -quarantine-threshold), and repairs surgically (per-learner
+// re-threshold, per-segment restore from the -checkpoint file, or a
+// trainer hot-retrain). -canary N holds N rows out of the demo workload
+// as the per-learner accuracy canary (demo model only). With -trainer,
+// every streaming update is announced to the monitor with a fresh
+// signature (SignedUpdates), so integrity scrubbing stays strict under
+// live training. /healthz gains a model-identity and reliability block;
+// /reliability serves the full health ledger with per-learner
+// healthy-dimension fractions and masked-word counts. -chaos enables
+// the POST /inject word-fault drill endpoint (binary backend only).
 //
 // Endpoints:
 //
@@ -59,14 +67,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	osignal "os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"boosthd/internal/boosthd"
+	"boosthd/internal/faults"
 	"boosthd/internal/infer"
 	"boosthd/internal/reliability"
 	"boosthd/internal/serve"
@@ -93,6 +104,9 @@ func main() {
 	scrubEvery := flag.Duration("scrub-every", 0, "reliability scrub period (0 = monitor disabled)")
 	canaryRows := flag.Int("canary", 0, "held-out canary rows for per-learner health checks (demo model only)")
 	quarantineThreshold := flag.Float64("quarantine-threshold", 0.15, "canary accuracy drop that quarantines a learner")
+	segmentWords := flag.Int("segment-words", 0, "signature/quarantine segment width in packed 64-bit words (0 = default 8; corruption is masked at this granularity)")
+	minHealthy := flag.Float64("min-healthy", 0, "healthy-dimension fraction below which a learner is fully quarantined instead of dimension-masked (0 = default 0.5, >=1 = always whole-learner)")
+	chaos := flag.Bool("chaos", false, "enable the POST /inject fault-injection drill endpoint (binary backend; gate with -auth-token on exposed ports)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
@@ -111,7 +125,7 @@ func main() {
 		})
 	}
 	if *scrubEvery <= 0 {
-		scrubOnly := map[string]bool{"canary": true, "quarantine-threshold": true}
+		scrubOnly := map[string]bool{"canary": true, "quarantine-threshold": true, "segment-words": true, "min-healthy": true}
 		flag.Visit(func(f *flag.Flag) {
 			if scrubOnly[f.Name] {
 				fail(fmt.Errorf("-%s requires -scrub-every", f.Name))
@@ -195,15 +209,18 @@ func main() {
 	var mon *reliability.Monitor
 	if *scrubEvery > 0 {
 		rcfg := reliability.Config{
-			ScrubEvery:     *scrubEvery,
-			QuarantineDrop: *quarantineThreshold,
+			ScrubEvery:         *scrubEvery,
+			QuarantineDrop:     *quarantineThreshold,
+			SegmentWords:       *segmentWords,
+			MinHealthyFraction: *minHealthy,
 			// The served checkpoint doubles as the last verified copy:
 			// restore quarantined learners from it.
 			CheckpointPath: *checkpoint,
-			// A trainer legitimately mutates class memory in place;
-			// without one, any mutation of a static serving model is
-			// corruption.
-			TrustVersioned: *useTrainer,
+			// A trainer legitimately mutates class memory in place — but
+			// it announces every update with a fresh signature through
+			// the mutation-observer contract wired below, so scrubbing
+			// stays strict instead of trusting version bumps wholesale.
+			SignedUpdates: *useTrainer,
 		}
 		if tr != nil {
 			rcfg.Trainer = tr
@@ -211,6 +228,9 @@ func main() {
 		mon, err = reliability.New(srv, rcfg)
 		if err != nil {
 			fail(err)
+		}
+		if tr != nil {
+			tr.SetMutationObserver(mon.NoteMutation)
 		}
 		if len(canaryX) > 0 {
 			if err := mon.SetCanary(canaryX, canaryY); err != nil {
@@ -228,8 +248,13 @@ func main() {
 		case eng.Binary() != nil && !eng.Binary().Frozen():
 			repair = "re-threshold from float memory"
 		}
-		fmt.Printf("reliability: scrub every %v, canary %d rows, quarantine drop %.2f, repair via %s\n",
-			*scrubEvery, len(canaryX), *quarantineThreshold, repair)
+		mcfg := mon.Config()
+		fmt.Printf("reliability: scrub every %v, canary %d rows, quarantine drop %.2f, %d-word segments, min healthy fraction %.2f, repair via %s\n",
+			*scrubEvery, len(canaryX), *quarantineThreshold, mcfg.SegmentWords, mcfg.MinHealthyFraction, repair)
+	}
+	if *chaos {
+		hcfg.Chaos = &chaosInjector{srv: srv, rng: rand.New(rand.NewSource(1))}
+		fmt.Println("chaos: POST /inject enabled (fault-injection drills)")
 	}
 
 	// A configured http.Server instead of bare ListenAndServe: header and
@@ -337,6 +362,31 @@ func demoEngine(backend string, canary int) (*infer.Engine, [][]float64, []int, 
 		return nil, nil, nil, fmt.Errorf("unknown backend %q (want float or binary)", backend)
 	}
 	return eng, canaryX, canaryY, nil
+}
+
+// chaosInjector is the -chaos implementation of serve.Chaos: it flips
+// bits of the live packed-binary planes through the engine's
+// clone-and-swap injection path, exactly the silent word-fault model
+// the reliability monitor exists to catch. The rng is guarded so
+// concurrent drills do not race it.
+type chaosInjector struct {
+	mu  sync.Mutex
+	srv *serve.Server
+	rng *rand.Rand
+}
+
+func (c *chaosInjector) InjectWords(pb float64) (int, error) {
+	bin := c.srv.Engine().Binary()
+	if bin == nil {
+		return 0, fmt.Errorf("%w: chaos injection needs the binary backend (serving float)", serve.ErrBadInput)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inj, err := faults.NewInjector(pb, c.rng)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", serve.ErrBadInput, err)
+	}
+	return bin.InjectWordFaults(inj), nil
 }
 
 func fail(err error) {

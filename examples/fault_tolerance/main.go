@@ -1,14 +1,18 @@
 // Fault tolerance as a live serving guarantee: the paper's Figure 8
-// protocol (random bit flips in stored class hypervectors) run against
-// the runtime reliability subsystem instead of an offline sweep. The
-// demo trains BoostHD on a wearable-stress workload, serves it, signs
-// it with a reliability monitor, then walks the full self-healing
-// cycle:
+// protocol (random bit flips in stored model memory) run against the
+// runtime reliability subsystem instead of an offline sweep. The demo
+// trains BoostHD on a wearable-stress workload, serves the quantized
+// packed-binary model, signs it with a reliability monitor, then walks
+// the full two-tier self-healing cycle:
 //
-//	inject -> scrub detects -> quarantine (alpha-masked swap) -> repair
+//	inject word faults -> scrub attributes them to dimension segments
+//	-> dimension quarantine (only the corrupted words leave the vote)
+//	-> surgical repair (re-threshold) -> heavy faults -> full learner
+//	quarantine -> checkpoint restore
 //
-// and prints the served accuracy at every stage — corrupted, degraded
-// (quarantined, riding the ensemble redundancy), and repaired.
+// printing the served accuracy and each learner's healthy-dimension
+// fraction at every stage — the monitor's view of how much of every
+// learner is still voting.
 //
 //	go run ./examples/fault_tolerance
 package main
@@ -19,6 +23,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"boosthd"
 )
@@ -79,15 +84,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Serve the model and attach the reliability monitor: signatures
-	// over every learner's memory plus a held-out canary that scores
-	// each learner solo.
-	srv, err := boosthd.NewServer(boosthd.NewEngine(model), boosthd.ServeConfig{})
+	// Serve the quantized packed-binary model — the wearable deployment
+	// representation whose word-granular memory the fault model hits —
+	// and attach a reliability monitor with one-word (64-dimension)
+	// quarantine segments.
+	eng, err := boosthd.NewBinaryEngine(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := boosthd.NewServer(eng, boosthd.ServeConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	mon, err := boosthd.NewReliabilityMonitor(srv, boosthd.ReliabilityConfig{CheckpointPath: ckpt})
+	mon, err := boosthd.NewReliabilityMonitor(srv, boosthd.ReliabilityConfig{
+		CheckpointPath: ckpt,
+		SegmentWords:   1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,45 +123,85 @@ func main() {
 		}
 		return float64(right) / float64(len(preds)) * 100
 	}
-	fmt.Printf("serving clean model:            accuracy %.2f%% (model generation %d)\n",
+	// healthRow renders each learner's healthy-dimension fraction — the
+	// monitor's ledger view of how much of every learner still votes.
+	healthRow := func() string {
+		st := mon.Status()
+		cells := make([]string, len(st.Ledger))
+		for i, h := range st.Ledger {
+			cells[i] = fmt.Sprintf("%d:%.2f", i, h.HealthyFraction)
+		}
+		return strings.Join(cells, " ")
+	}
+	fmt.Printf("serving clean quantized model:  accuracy %.2f%% (model generation %d)\n",
 		accuracy(), srv.Stats().ModelVersion)
+	fmt.Printf("  healthy-dimension fraction per learner: %s\n", healthRow())
 
-	// Corrupt three learners' class memories with heavy bit flips —
-	// pb=1e-3 over float32 storage flips exponent bits often enough to
-	// blow individual learners up completely.
+	// Stage 1: sparse word faults in the live quantized planes — the
+	// silent corruption word-granular hardware actually produces.
 	rng := rand.New(rand.NewSource(99))
-	inj, err := boosthd.NewFaultInjector(1e-3, rng)
+	inj, err := boosthd.NewFaultInjector(2e-4, rng)
 	if err != nil {
 		log.Fatal(err)
 	}
 	flips := 0
-	for _, learner := range []int{1, 4, 7} {
-		flips += model.InjectLearnerFaults(learner, inj)
+	for flips == 0 {
+		flips = srv.Engine().Binary().InjectWordFaults(inj)
 	}
-	fmt.Printf("injected %d bit flips into learners 1, 4, 7: accuracy %.2f%% (silent corruption)\n",
+	fmt.Printf("\ninjected %d word-fault bit flips: accuracy %.2f%% (silent corruption)\n",
 		flips, accuracy())
 
-	// Scrub: the integrity signatures flag exactly the corrupted
-	// learners; quarantine masks their votes through an atomic engine
-	// swap, and the remaining learners keep serving.
+	// Scrub: segment signatures attribute each flipped word to its
+	// dimension segment; only those words leave the vote.
 	srep, err := mon.Scrub()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("scrub detected + quarantined %v: accuracy %.2f%% (degraded, generation %d)\n",
-		srep.Quarantined, accuracy(), srv.Stats().ModelVersion)
 	st := mon.Status()
-	fmt.Printf("healthz would report: degraded=%v, %d/%d learners quarantined\n",
-		st.Degraded, len(st.Quarantined), st.Learners)
+	fmt.Printf("scrub attributed the damage: %d learners dimension-masked (%d words), %d fully quarantined: accuracy %.2f%% (generation %d)\n",
+		len(srep.DimMasked), srep.MaskedWords, len(srep.Quarantined), accuracy(), srv.Stats().ModelVersion)
+	fmt.Printf("  healthy-dimension fraction per learner: %s\n", healthRow())
+	fmt.Printf("  healthz would report: degraded=%v\n", st.Degraded)
 
-	// Repair: class vectors restored from the verified checkpoint,
-	// re-signed, canary-verified, un-quarantined.
+	// Surgical repair: only the corrupted learners re-threshold from
+	// the intact float memory.
 	rrep, err := mon.Repair()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repaired %v via %s: accuracy %.2f%% (generation %d)\n",
+		rrep.Repaired, rrep.Source, accuracy(), srv.Stats().ModelVersion)
+	fmt.Printf("  healthy-dimension fraction per learner: %s\n", healthRow())
+
+	// Stage 2: heavy float corruption of three learners — too broad for
+	// dimension masking, so the criticality threshold escalates to a
+	// full alpha-mask quarantine, and repair restores from the
+	// verified checkpoint.
+	injF, err := boosthd.NewFaultInjector(1e-3, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flips = 0
+	for _, learner := range []int{1, 4, 7} {
+		flips += model.InjectLearnerFaults(learner, injF)
+	}
+	fmt.Printf("\ninjected %d bit flips into learners 1, 4, 7's float memory: accuracy %.2f%% (silent corruption)\n",
+		flips, accuracy())
+	srep, err = mon.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scrub quarantined %v, dimension-masked %v: accuracy %.2f%% (degraded, generation %d)\n",
+		srep.Quarantined, srep.DimMasked, accuracy(), srv.Stats().ModelVersion)
+	fmt.Printf("  healthy-dimension fraction per learner: %s\n", healthRow())
+
+	rrep, err = mon.Repair()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("repaired %v from %s: accuracy %.2f%% (generation %d)\n",
 		rrep.Repaired, rrep.Source, accuracy(), srv.Stats().ModelVersion)
+	fmt.Printf("  healthy-dimension fraction per learner: %s\n", healthRow())
 	st = mon.Status()
 	fmt.Printf("final status: degraded=%v, detections=%d, repairs=%d — served throughout, zero downtime\n",
 		st.Degraded, st.Detections, st.Repairs)

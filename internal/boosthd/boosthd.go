@@ -99,6 +99,23 @@ type Model struct {
 	segs     []segment
 	gamma    float64 // resolved base bandwidth (serialization rebuilds encoders from it)
 	inputDim int     // feature width the encoders were built for
+
+	// dimMasks carries per-learner healthy-dimension masks on quarantine
+	// views built by MaskedView: bit d (word d/64, bit d%64, learner-local
+	// dimensions) set means dimension d's class memory is trusted. A nil
+	// outer slice or nil entry means every dimension is trusted — the base
+	// model never carries masks. Scoring treats a masked dimension's class
+	// component as zero, exactly as if the stored value were zeroed.
+	dimMasks [][]uint64
+}
+
+// dimMask returns learner i's healthy-dimension mask, or nil when every
+// dimension is trusted.
+func (m *Model) dimMask(i int) []uint64 {
+	if m.dimMasks == nil {
+		return nil
+	}
+	return m.dimMasks[i]
 }
 
 // partition splits totalDim into n contiguous segments whose sizes differ
@@ -218,12 +235,45 @@ func (m *Model) pinLearners() (norms [][]float64, unpin func()) {
 	unpins := make([]func(), len(m.Learners))
 	for i, l := range m.Learners {
 		norms[i], unpins[i] = l.PinClass()
+		if dm := m.dimMask(i); dm != nil {
+			// A dimension-masked learner scores against class memory with
+			// its untrusted components treated as zero, so the cached
+			// full-width norms do not apply. The class vectors are pinned
+			// for the whole batch, so the masked norms computed here stay
+			// coherent with every row the batch scores.
+			norms[i] = maskedClassNorms(l.Class, dm)
+		}
 	}
 	return norms, func() {
 		for _, u := range unpins {
 			u()
 		}
 	}
+}
+
+// maskedBit reports whether dimension k is trusted under healthy.
+func maskedBit(healthy []uint64, k int) bool {
+	return healthy[k>>6]&(1<<uint(k&63)) != 0
+}
+
+// maskedClassNorms computes per-class Euclidean norms with untrusted
+// dimensions treated as zero. The accumulation replicates hdc.Norm over
+// a class vector whose masked components were literally zeroed, so a
+// dimension-masked model scores bit-for-bit like a clean model with
+// those components zeroed and its norm cache refreshed.
+func maskedClassNorms(class []hdc.Vector, healthy []uint64) []float64 {
+	norms := make([]float64, len(class))
+	for c, cv := range class {
+		var s float64
+		for k, v := range cv {
+			if !maskedBit(healthy, k) {
+				v = 0
+			}
+			s += v * v
+		}
+		norms[c] = math.Sqrt(s)
+	}
+	return norms
 }
 
 // inferScratch is the per-worker scoring state: reused across every row a
@@ -282,6 +332,63 @@ func segmentDots(hseg hdc.Vector, class []hdc.Vector, dots []float64) (hn2 float
 	return hn2
 }
 
+// segmentDotsMasked is segmentDots for a dimension-masked learner: class
+// components at untrusted dimensions are read as zero. The query norm
+// still accumulates over every dimension (the query is computed fresh
+// and is never suspect), and the zeroed components go through the same
+// multiply-add sequence as segmentDots over a literally zeroed class
+// vector, so the scores are bit-identical to a clean model with those
+// components zeroed at the same positions.
+func segmentDotsMasked(hseg hdc.Vector, class []hdc.Vector, dots []float64, healthy []uint64) (hn2 float64) {
+	n := len(hseg)
+	switch len(class) {
+	case 2:
+		c0, c1 := class[0][:n], class[1][:n]
+		var d0, d1 float64
+		for k, hv := range hseg {
+			hn2 += hv * hv
+			v0, v1 := c0[k], c1[k]
+			if !maskedBit(healthy, k) {
+				v0, v1 = 0, 0
+			}
+			d0 += hv * v0
+			d1 += hv * v1
+		}
+		dots[0], dots[1] = d0, d1
+	case 3:
+		c0, c1, c2 := class[0][:n], class[1][:n], class[2][:n]
+		var d0, d1, d2 float64
+		for k, hv := range hseg {
+			hn2 += hv * hv
+			v0, v1, v2 := c0[k], c1[k], c2[k]
+			if !maskedBit(healthy, k) {
+				v0, v1, v2 = 0, 0, 0
+			}
+			d0 += hv * v0
+			d1 += hv * v1
+			d2 += hv * v2
+		}
+		dots[0], dots[1], dots[2] = d0, d1, d2
+	default:
+		for c := range dots {
+			dots[c] = 0
+		}
+		for k, hv := range hseg {
+			hn2 += hv * hv
+			if !maskedBit(healthy, k) {
+				for c := range class {
+					dots[c] += hv * 0
+				}
+				continue
+			}
+			for c, cv := range class {
+				dots[c] += hv * cv[k]
+			}
+		}
+	}
+	return hn2
+}
+
 // classifyEncoded scores a full-width encoding in one pass: for every
 // learner it walks that learner's dimension segment once, accumulating the
 // query-segment norm and all per-class dot products together, then folds
@@ -304,7 +411,12 @@ func (m *Model) classifyEncoded(h hdc.Vector, norms [][]float64, sc *inferScratc
 		}
 		seg := m.segs[i]
 		hseg := h[seg.lo:seg.hi]
-		hn := math.Sqrt(segmentDots(hseg, l.Class, sc.dots))
+		var hn float64
+		if dm := m.dimMask(i); dm != nil {
+			hn = math.Sqrt(segmentDotsMasked(hseg, l.Class, sc.dots, dm))
+		} else {
+			hn = math.Sqrt(segmentDots(hseg, l.Class, sc.dots))
+		}
 		// Convert dots to cosine scores in place, replicating the
 		// zero-norm conventions of HVClassifier.Scores.
 		for c := 0; c < classes; c++ {

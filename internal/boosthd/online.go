@@ -10,9 +10,11 @@ package boosthd
 
 import (
 	"fmt"
+	"math"
 
 	"boosthd/internal/ensemble"
 	"boosthd/internal/hdc"
+	"boosthd/internal/onlinehd"
 )
 
 // Update applies one streaming OnlineHD step to every weak learner: the
@@ -24,17 +26,20 @@ import (
 // write path holds at most one learner's lock at a time, so concurrent
 // pins cannot deadlock. Learner versions bump only where class memory
 // actually changed, so the packed-binary backend re-quantizes exactly
-// the learners the sample moved. It reports how many learners changed.
-func (m *Model) Update(x []float64, label int) (changed int, err error) {
+// the learners the sample moved. It returns the indexes of the learners
+// whose class memory moved — the list a trainer hands to an attached
+// reliability monitor so the mutation can be re-signed instead of read
+// as corruption.
+func (m *Model) Update(x []float64, label int) (changed []int, err error) {
 	if label < 0 || label >= m.Cfg.Classes {
-		return 0, fmt.Errorf("boosthd: update label %d outside [0,%d)", label, m.Cfg.Classes)
+		return nil, fmt.Errorf("boosthd: update label %d outside [0,%d)", label, m.Cfg.Classes)
 	}
 	if len(x) != m.inputDim {
-		return 0, fmt.Errorf("boosthd: update sample has %d features, model expects %d", len(x), m.inputDim)
+		return nil, fmt.Errorf("boosthd: update sample has %d features, model expects %d", len(x), m.inputDim)
 	}
 	h, err := m.Enc.Encode(x)
 	if err != nil {
-		return 0, fmt.Errorf("boosthd: %w", err)
+		return nil, fmt.Errorf("boosthd: %w", err)
 	}
 	for i, l := range m.Learners {
 		seg := m.segs[i]
@@ -43,7 +48,7 @@ func (m *Model) Update(x []float64, label int) (changed int, err error) {
 			return changed, fmt.Errorf("boosthd: learner %d: %w", i, err)
 		}
 		if moved {
-			changed++
+			changed = append(changed, i)
 		}
 	}
 	return changed, nil
@@ -54,17 +59,18 @@ func (m *Model) Update(x []float64, label int) (changed int, err error) {
 // of paying a scalar projection sweep per sample — the ingest path for
 // batched observation streams. Updates are applied in row order with
 // the same per-learner locking as Update, so serving stays live
-// throughout. It reports how many rows moved at least one learner.
-func (m *Model) UpdateBatch(X [][]float64, y []int) (changedRows int, err error) {
+// throughout. It reports how many rows moved at least one learner and
+// which learners moved at all (for the trainer→monitor re-sign handoff).
+func (m *Model) UpdateBatch(X [][]float64, y []int) (changedRows int, changed []int, err error) {
 	if len(X) != len(y) {
-		return 0, fmt.Errorf("boosthd: update batch %d rows vs %d labels", len(X), len(y))
+		return 0, nil, fmt.Errorf("boosthd: update batch %d rows vs %d labels", len(X), len(y))
 	}
 	for i, row := range X {
 		if y[i] < 0 || y[i] >= m.Cfg.Classes {
-			return 0, fmt.Errorf("boosthd: update label %d at row %d outside [0,%d)", y[i], i, m.Cfg.Classes)
+			return 0, nil, fmt.Errorf("boosthd: update label %d at row %d outside [0,%d)", y[i], i, m.Cfg.Classes)
 		}
 		if len(row) != m.inputDim {
-			return 0, fmt.Errorf("boosthd: update row %d has %d features, model expects %d", i, len(row), m.inputDim)
+			return 0, nil, fmt.Errorf("boosthd: update row %d has %d features, model expects %d", i, len(row), m.inputDim)
 		}
 	}
 	D := m.Cfg.TotalDim
@@ -72,14 +78,23 @@ func (m *Model) UpdateBatch(X [][]float64, y []int) (changedRows int, err error)
 	if len(X) < rows {
 		rows = len(X)
 	}
+	movedLearner := make([]bool, len(m.Learners))
 	buf := make([]float64, rows*D)
+	finish := func() []int {
+		for j, moved := range movedLearner {
+			if moved {
+				changed = append(changed, j)
+			}
+		}
+		return changed
+	}
 	for lo := 0; lo < len(X); lo += rows {
 		hi := lo + rows
 		if hi > len(X) {
 			hi = len(X)
 		}
 		if err := m.Enc.EncodeBatchInto(X[lo:hi], buf, D, 0); err != nil {
-			return changedRows, fmt.Errorf("boosthd: rows [%d,%d): %w", lo, hi, err)
+			return changedRows, finish(), fmt.Errorf("boosthd: rows [%d,%d): %w", lo, hi, err)
 		}
 		for i := lo; i < hi; i++ {
 			h := hdc.Vector(buf[(i-lo)*D : (i-lo+1)*D])
@@ -88,16 +103,17 @@ func (m *Model) UpdateBatch(X [][]float64, y []int) (changedRows int, err error)
 				seg := m.segs[j]
 				ch, err := l.Update(h[seg.lo:seg.hi], y[i])
 				if err != nil {
-					return changedRows, fmt.Errorf("boosthd: row %d learner %d: %w", i, j, err)
+					return changedRows, finish(), fmt.Errorf("boosthd: row %d learner %d: %w", i, j, err)
 				}
 				moved = moved || ch
+				movedLearner[j] = movedLearner[j] || ch
 			}
 			if moved {
 				changedRows++
 			}
 		}
 	}
-	return changedRows, nil
+	return changedRows, finish(), nil
 }
 
 // AlphaView returns a model that shares this model's encoder stack and
@@ -128,14 +144,41 @@ func (m *Model) AlphaView() *Model {
 // and because the view shares the live learners, repair work (SetClass
 // restores, streaming updates) lands in memory the view serves.
 func (m *Model) MaskedAlphaView(masked []bool) (*Model, error) {
+	return m.MaskedView(masked, nil)
+}
+
+// MaskedView is the two-tier quarantine view: masked[i] true zeroes
+// learner i's whole vote (its memory is never read), while healthy[i]
+// non-nil keeps learner i voting but treats the class-memory components
+// at its zero bits as zero — the dimension-granular quarantine for a
+// learner where fault attribution localized the corruption to specific
+// word ranges. healthy is learner-major packed bitmasks over each
+// learner's local dimensions (bit d of word d/64); a nil outer slice or
+// nil entry trusts every dimension. Like MaskedAlphaView, the view
+// shares the live learners, so repairs land in memory the view serves.
+func (m *Model) MaskedView(masked []bool, healthy [][]uint64) (*Model, error) {
 	if len(masked) != len(m.Learners) {
 		return nil, fmt.Errorf("boosthd: %d mask entries for %d learners", len(masked), len(m.Learners))
+	}
+	if healthy != nil && len(healthy) != len(m.Learners) {
+		return nil, fmt.Errorf("boosthd: %d dimension masks for %d learners", len(healthy), len(m.Learners))
 	}
 	v := m.AlphaView()
 	for i, q := range masked {
 		if q {
 			v.Alphas[i] = 0
 		}
+	}
+	if healthy != nil {
+		for i, hm := range healthy {
+			if hm == nil {
+				continue
+			}
+			if want := (m.Learners[i].Dim + 63) / 64; len(hm) != want {
+				return nil, fmt.Errorf("boosthd: learner %d dimension mask has %d words, want %d", i, len(hm), want)
+			}
+		}
+		v.dimMasks = healthy
 	}
 	return v, nil
 }
@@ -160,8 +203,18 @@ func (m *Model) EvaluateLearners(X [][]float64, y []int) ([]float64, error) {
 		for r, h := range H {
 			sub[r] = h.Slice(seg.lo, seg.hi)
 		}
+		var preds []int
+		if dm := m.dimMask(i); dm != nil {
+			// A dimension-masked learner must be probed the way it serves:
+			// untrusted class components read as zero, norms to match —
+			// the canary then measures the masked learner's real residual
+			// competence, not the corrupted memory the mask excludes.
+			preds = m.predictLearnerMasked(l, sub, dm)
+		} else {
+			preds = l.PredictBatch(sub)
+		}
 		right := 0
-		for r, p := range l.PredictBatch(sub) {
+		for r, p := range preds {
 			if p == y[r] {
 				right++
 			}
@@ -169,6 +222,35 @@ func (m *Model) EvaluateLearners(X [][]float64, y []int) ([]float64, error) {
 		acc[i] = float64(right) / float64(len(y))
 	}
 	return acc, nil
+}
+
+// predictLearnerMasked scores one dimension-masked learner solo over
+// pre-sliced segment encodings, replicating HVClassifier.PredictBatch's
+// zero-norm conventions with the untrusted class components zeroed.
+func (m *Model) predictLearnerMasked(l *onlinehd.HVClassifier, sub []hdc.Vector, healthy []uint64) []int {
+	out := make([]int, len(sub))
+	_, unpin := l.PinClass()
+	defer unpin()
+	norms := maskedClassNorms(l.Class, healthy)
+	dots := make([]float64, l.Classes)
+	for r, h := range sub {
+		hn := math.Sqrt(segmentDotsMasked(h, l.Class, dots, healthy))
+		for c := range dots {
+			if hn == 0 || norms[c] == 0 {
+				dots[c] = 0
+				continue
+			}
+			dots[c] = dots[c] / (hn * norms[c])
+		}
+		best := 0
+		for c := 1; c < len(dots); c++ {
+			if dots[c] > dots[best] {
+				best = c
+			}
+		}
+		out[r] = best
+	}
+	return out
 }
 
 // Refit retrains every weak learner and the boosting alphas from scratch

@@ -96,16 +96,16 @@ func TestUpdateBatchMatchesCounters(t *testing.T) {
 	for i := range y {
 		y[i] = i % m.Cfg.Classes
 	}
-	if _, err := m.UpdateBatch(queries[:3], y[:2]); err == nil {
+	if _, _, err := m.UpdateBatch(queries[:3], y[:2]); err == nil {
 		t.Fatal("row/label mismatch accepted")
 	}
-	if _, err := m.UpdateBatch([][]float64{queries[0][:2]}, []int{0}); err == nil {
+	if _, _, err := m.UpdateBatch([][]float64{queries[0][:2]}, []int{0}); err == nil {
 		t.Fatal("short row accepted")
 	}
-	if _, err := m.UpdateBatch(queries[:1], []int{m.Cfg.Classes}); err == nil {
+	if _, _, err := m.UpdateBatch(queries[:1], []int{m.Cfg.Classes}); err == nil {
 		t.Fatal("label past Classes accepted")
 	}
-	changed, err := m.UpdateBatch(queries[:60], y)
+	changed, _, err := m.UpdateBatch(queries[:60], y)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,6 +57,15 @@ type BinaryModel struct {
 	segDims []int // segment widths, learner-major
 	frozen  bool  // cold-loaded snapshot: no float memory to re-quantize from
 
+	// dimMasks carries per-learner healthy-dimension masks on quarantine
+	// views (withView): bit d set means dimension d of that learner's
+	// quantized memory is trusted. Scoring ANDs the mask into the
+	// confidence mask and renormalizes by the surviving popcount, so a
+	// partially masked learner votes with full weight from its healthy
+	// dimensions — exactly as if the untrusted words had been dropped
+	// from the confidence mask at quantize time. nil trusts everything.
+	dimMasks [][]uint64
+
 	mu   sync.Mutex                   // serializes re-quantization
 	snap atomic.Pointer[quantization] // current snapshot; never nil
 }
@@ -182,22 +191,50 @@ func (bm *BinaryModel) Refresh() {
 	bm.snap.Store(snapshot(bm.model, bm.snap.Load()))
 }
 
-// Rethreshold rebuilds the quantized snapshot from the float class
-// memory unconditionally, bypassing the version-keyed plane reuse that
-// Refresh performs. This is the reliability repair path for silent
-// corruption of the quantized planes: word faults flip stored bits
-// without touching learner versions (hardware does not announce its
-// faults), so a version-gated refresh would happily reuse the corrupted
-// planes. Mask popcounts are recomputed, healing stale stored counts
-// too. It fails on a frozen snapshot — there is no float memory to
-// re-threshold from; restore those from a verified checkpoint instead.
-func (bm *BinaryModel) Rethreshold() error {
+// Rethreshold rebuilds quantized planes from the float class memory
+// unconditionally, bypassing the version-keyed plane reuse that Refresh
+// performs. This is the reliability repair path for silent corruption of
+// the quantized planes: word faults flip stored bits without touching
+// learner versions (hardware does not announce its faults), so a
+// version-gated refresh would happily reuse the corrupted planes. Mask
+// popcounts are recomputed, healing stale stored counts too.
+//
+// With no arguments the whole snapshot is rebuilt. With learner indexes,
+// only those learners are re-quantized — the surgical repair unit: a
+// scrubber that attributed corruption to specific learners rebuilds
+// exactly their planes, and every other learner's (possibly still
+// masked-but-unrepaired) planes carry over untouched. It fails on a
+// frozen snapshot — there is no float memory to re-threshold from;
+// restore those from a verified checkpoint instead.
+func (bm *BinaryModel) Rethreshold(learners ...int) error {
 	if bm.frozen {
 		return fmt.Errorf("infer: rethreshold: frozen binary snapshot has no float class memory")
 	}
+	for _, i := range learners {
+		if i < 0 || i >= len(bm.model.Learners) {
+			return fmt.Errorf("infer: rethreshold: learner %d outside [0,%d)", i, len(bm.model.Learners))
+		}
+	}
 	bm.mu.Lock()
 	defer bm.mu.Unlock()
-	bm.snap.Store(snapshot(bm.model, nil))
+	if len(learners) == 0 {
+		bm.snap.Store(snapshot(bm.model, nil))
+		return nil
+	}
+	prev := bm.snap.Load()
+	qz := &quantization{
+		class:    append([][]*hdc.BitVector(nil), prev.class...),
+		mask:     append([][]*hdc.BitVector(nil), prev.mask...),
+		maskOnes: append([][]float64(nil), prev.maskOnes...),
+		versions: append([]uint64(nil), prev.versions...),
+	}
+	for _, i := range learners {
+		bm.model.Learners[i].ReadClass(func(class []hdc.Vector, version uint64) {
+			qz.versions[i] = version
+			qz.quantizeLearner(i, class)
+		})
+	}
+	bm.snap.Store(qz)
 	return nil
 }
 
@@ -246,6 +283,28 @@ func (bm *BinaryModel) EncodeBits(x []float64, dst []*hdc.BitVector) error {
 	return bm.model.EncodeSegmentBits(x, dst)
 }
 
+// maskedPlaneScore is the dimension-quarantined masked Hamming
+// similarity: untrusted words (healthy bit 0) drop out of the
+// confidence mask, and the score renormalizes by the surviving
+// popcount so the healthy dimensions keep their full voting weight —
+// bit-for-bit what a clean model quantized with those words masked out
+// would score. Shared by the serving path (predictBits) and the canary
+// probe (EvaluateLearners) so a masked learner is always evaluated the
+// way it serves. An all-masked class scores 0, the zero-norm
+// convention.
+func maskedPlaneScore(q, sign, mask, healthy []uint64) float64 {
+	dis, ones := 0, 0
+	for w, qw := range q {
+		mw := mask[w] & healthy[w]
+		ones += popcount(mw)
+		dis += popcount((qw ^ sign[w]) & mw)
+	}
+	if ones == 0 {
+		return 0
+	}
+	return 1 - 2*float64(dis)/float64(ones)
+}
+
 // predictBits scores a query against one snapshot.
 func (bm *BinaryModel) predictBits(qz *quantization, q []*hdc.BitVector, agg, scores []float64) int {
 	classes := bm.model.Cfg.Classes
@@ -262,13 +321,21 @@ func (bm *BinaryModel) predictBits(qz *quantization, q []*hdc.BitVector, agg, sc
 			continue
 		}
 		qi := q[i]
+		var healthy []uint64
+		if bm.dimMasks != nil {
+			healthy = bm.dimMasks[i]
+		}
 		for c, cb := range cls {
 			mb := qz.mask[i][c]
-			dis := 0
-			for w, qw := range qi.Words {
-				dis += popcount((qw ^ cb.Words[w]) & mb.Words[w])
+			if healthy == nil {
+				dis := 0
+				for w, qw := range qi.Words {
+					dis += popcount((qw ^ cb.Words[w]) & mb.Words[w])
+				}
+				scores[c] = 1 - 2*float64(dis)/qz.maskOnes[i][c]
+				continue
 			}
-			scores[c] = 1 - 2*float64(dis)/qz.maskOnes[i][c]
+			scores[c] = maskedPlaneScore(qi.Words, cb.Words, mb.Words, healthy)
 		}
 		if score {
 			for c := 0; c < classes; c++ {
@@ -427,11 +494,67 @@ func (bm *BinaryModel) ReadPlanes(fn func(learner, class int, version uint64, si
 // withView returns a BinaryModel serving the same quantized snapshot
 // through a different model view (shared learners, private alphas) —
 // the quarantine path's engine rebuild, which must not pay (or trust!)
-// a re-quantization of possibly-corrupted float memory.
-func (bm *BinaryModel) withView(view *boosthd.Model) *BinaryModel {
-	out := &BinaryModel{model: view, segDims: bm.segDims, frozen: bm.frozen}
+// a re-quantization of possibly-corrupted float memory. healthy, when
+// non-nil, installs per-learner dimension masks (see dimMasks) on the
+// view; word counts must match each learner's plane width.
+func (bm *BinaryModel) withView(view *boosthd.Model, healthy [][]uint64) (*BinaryModel, error) {
+	if healthy != nil {
+		if len(healthy) != len(bm.segDims) {
+			return nil, fmt.Errorf("infer: %d dimension masks for %d learners", len(healthy), len(bm.segDims))
+		}
+		for i, hm := range healthy {
+			if hm == nil {
+				continue
+			}
+			if want := (bm.segDims[i] + 63) / 64; len(hm) != want {
+				return nil, fmt.Errorf("infer: learner %d dimension mask has %d words, want %d", i, len(hm), want)
+			}
+		}
+	}
+	out := &BinaryModel{model: view, segDims: bm.segDims, frozen: bm.frozen, dimMasks: healthy}
 	out.snap.Store(bm.snap.Load())
-	return out
+	return out, nil
+}
+
+// ApplyWordRepair runs fn over a deep copy of every (learner, class)
+// pair's sign and mask words and atomically swaps the transformed planes
+// in — the write-side complement of ReadPlanes, for storage-level
+// simulations (ECC correction models) and test construction. recount
+// true recomputes the stored mask popcounts from the transformed masks
+// (a transform that legitimately changes the confidence masks, e.g.
+// masking words out at "quantize time"); false keeps the stored counts
+// untouched, matching InjectWordFaults' silent-corruption semantics.
+func (bm *BinaryModel) ApplyWordRepair(recount bool, fn func(learner, class int, sign, mask []uint64)) {
+	bm.mu.Lock()
+	defer bm.mu.Unlock()
+	qz := bm.snap.Load()
+	next := &quantization{
+		class:    make([][]*hdc.BitVector, len(qz.class)),
+		mask:     make([][]*hdc.BitVector, len(qz.mask)),
+		maskOnes: qz.maskOnes,
+		versions: qz.versions,
+	}
+	if recount {
+		next.maskOnes = make([][]float64, len(qz.maskOnes))
+	}
+	for i := range qz.class {
+		next.class[i] = make([]*hdc.BitVector, len(qz.class[i]))
+		next.mask[i] = make([]*hdc.BitVector, len(qz.mask[i]))
+		if recount {
+			next.maskOnes[i] = make([]float64, len(qz.maskOnes[i]))
+		}
+		for c := range qz.class[i] {
+			sign := qz.class[i][c].Clone()
+			mask := qz.mask[i][c].Clone()
+			fn(i, c, sign.Words, mask.Words)
+			next.class[i][c] = sign
+			next.mask[i][c] = mask
+			if recount {
+				next.maskOnes[i][c] = float64(mask.Ones())
+			}
+		}
+	}
+	bm.snap.Store(next)
 }
 
 // EvaluateLearners scores each weak learner standalone on a labeled set
@@ -465,13 +588,23 @@ func (bm *BinaryModel) EvaluateLearners(X [][]float64, y []int) ([]float64, erro
 			qr := q[r-lo]
 			for i, cls := range qz.class {
 				qi := qr[i]
+				var healthy []uint64
+				if bm.dimMasks != nil {
+					healthy = bm.dimMasks[i]
+				}
 				for c, cb := range cls {
 					mb := qz.mask[i][c]
-					dis := 0
-					for w, qw := range qi.Words {
-						dis += popcount((qw ^ cb.Words[w]) & mb.Words[w])
+					if healthy == nil {
+						dis := 0
+						for w, qw := range qi.Words {
+							dis += popcount((qw ^ cb.Words[w]) & mb.Words[w])
+						}
+						scores[c] = 1 - 2*float64(dis)/qz.maskOnes[i][c]
+						continue
 					}
-					scores[c] = 1 - 2*float64(dis)/qz.maskOnes[i][c]
+					// Probe a dimension-quarantined learner the way it
+					// serves: untrusted words out, popcount renormalized.
+					scores[c] = maskedPlaneScore(qi.Words, cb.Words, mb.Words, healthy)
 				}
 				best := 0
 				for c := 1; c < classes; c++ {

@@ -128,12 +128,28 @@ func (e *Engine) EvaluateLearners(X [][]float64, y []int) ([]float64, error) {
 // is the reliability subsystem's swap unit: hand it to serve.Server.Swap
 // and requests atomically stop counting the quarantined learners.
 func Remask(cur *Engine, base *boosthd.Model, masked []bool) (*Engine, error) {
-	view, err := base.MaskedAlphaView(masked)
+	return RemaskDims(cur, base, masked, nil)
+}
+
+// RemaskDims is the two-tier quarantine rebuild: masked[i] true zeroes
+// learner i's whole vote (as Remask), while healthy[i] non-nil keeps
+// learner i voting over only its trusted dimensions — the packed-binary
+// path ANDs the mask into the confidence masks with popcount
+// renormalization, the float path zeroes the masked class components
+// with matching norms. healthy is learner-major packed bitmasks over
+// each learner's local dimensions; nil (outer or entry) trusts all.
+// Like Remask, backend state is shared, never rebuilt or re-trusted.
+func RemaskDims(cur *Engine, base *boosthd.Model, masked []bool, healthy [][]uint64) (*Engine, error) {
+	view, err := base.MaskedView(masked, healthy)
 	if err != nil {
 		return nil, fmt.Errorf("infer: remask: %w", err)
 	}
 	if cur.backend == PackedBinary {
-		return &Engine{model: view, backend: PackedBinary, bin: cur.bin.withView(view)}, nil
+		bin, err := cur.bin.withView(view, healthy)
+		if err != nil {
+			return nil, fmt.Errorf("infer: remask: %w", err)
+		}
+		return &Engine{model: view, backend: PackedBinary, bin: bin}, nil
 	}
 	return &Engine{model: view, backend: Float}, nil
 }

@@ -111,6 +111,38 @@ func (c *HVClassifier) SetClass(class []hdc.Vector) error {
 	return nil
 }
 
+// RestoreSegments copies the [lo,hi) dimension ranges of src into every
+// class hypervector under the write lock and bumps the version counter —
+// the surgical repair path: a reliability monitor that attributed float
+// corruption to specific dimension segments restores exactly those
+// ranges from a verified checkpoint, leaving the rest of the learner's
+// (healthy, possibly since-updated) memory untouched. Ranges must lie
+// within [0,Dim) and src must match the classifier's geometry.
+func (c *HVClassifier) RestoreSegments(src []hdc.Vector, ranges [][2]int) error {
+	if len(src) != c.Classes {
+		return fmt.Errorf("onlinehd: %d source class vectors for %d classes", len(src), c.Classes)
+	}
+	for i, cv := range src {
+		if len(cv) != c.Dim {
+			return fmt.Errorf("onlinehd: source class %d has dim %d, want %d", i, len(cv), c.Dim)
+		}
+	}
+	for _, r := range ranges {
+		if r[0] < 0 || r[1] < r[0] || r[1] > c.Dim {
+			return fmt.Errorf("onlinehd: restore range [%d,%d) outside [0,%d)", r[0], r[1], c.Dim)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cv := range src {
+		for _, r := range ranges {
+			copy(c.Class[i][r[0]:r[1]], cv[r[0]:r[1]])
+		}
+	}
+	c.version++
+	return nil
+}
+
 // ReadClass runs fn over the class hypervectors and the version they are
 // at, under the read lock: fn observes a consistent (version, vectors)
 // pair even while MutateClass or Fit runs on other goroutines. fn must

@@ -296,7 +296,7 @@ func TestScrubDetectsEveryWordFaultBinary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pristineSigs := signModel(pristine, pristineEng.Binary())
+	pristineSigs := signModel(pristine, pristineEng.Binary(), DefaultSegmentWords)
 	wantClean, err := pristineEng.PredictBatch(probes)
 	if err != nil {
 		t.Fatal(err)
@@ -322,7 +322,7 @@ func TestScrubDetectsEveryWordFaultBinary(t *testing.T) {
 
 		// Ground truth: which learners' planes now differ from the
 		// pristine quantization (deterministic from the float memory).
-		cur := signModel(m, srv.Engine().Binary())
+		cur := signModel(m, srv.Engine().Binary(), DefaultSegmentWords)
 		var corrupted []int
 		for i := range cur {
 			if !cur[i].planesEqual(&pristineSigs[i]) {

@@ -6,6 +6,7 @@ import (
 	"boosthd/internal/boosthd"
 	"boosthd/internal/hdc"
 	"boosthd/internal/infer"
+	"boosthd/internal/onlinehd"
 	"boosthd/internal/par"
 )
 
@@ -17,6 +18,14 @@ const (
 	fnvOffset uint64 = 14695981039346656037
 	fnvPrime  uint64 = 1099511628211
 )
+
+// DefaultSegmentWords is the signature segment width when Config leaves
+// it zero: 8 packed 64-bit words = 512 dimensions per segment. Each
+// segment stores one parity word plus one digest word, a 2/SegmentWords
+// storage overhead (25% at the default; 16 matches SEC-DED's 12.5%),
+// bought back as attribution: the scrubber localizes corruption to a
+// segment instead of condemning a whole learner.
+const DefaultSegmentWords = 8
 
 // fold accumulates one storage word into an (XOR parity, position-mixed
 // digest) signature pair. The parity word is the classic scrub check —
@@ -30,99 +39,237 @@ func fold(parity, digest, word uint64) (uint64, uint64) {
 	return parity ^ word, (digest ^ word) * fnvPrime
 }
 
-// foldWords signs a packed plane.
-func foldWords(words []uint64) (parity, digest uint64) {
-	digest = fnvOffset
-	for _, w := range words {
-		parity, digest = fold(parity, digest, w)
-	}
-	return parity, digest
+// segSig is the signature of one fixed-size word block: dimension
+// segment s of a learner covers local dimensions
+// [s*64*segWords, (s+1)*64*segWords), i.e. packed-plane words
+// [s*segWords, (s+1)*segWords) and the same range of float components
+// (one IEEE-754 word per dimension). Keeping float and plane segments
+// aligned on the same dimension ranges is what lets the scrubber
+// attribute corruption in either representation to one dimension range
+// and quarantine exactly those words out of the serving masks.
+type segSig struct{ parity, digest uint64 }
+
+// segsFor returns the number of dimension segments of a dims-wide
+// learner under segWords-word segments.
+func segsFor(dims, segWords int) int {
+	words := (dims + 63) / 64
+	return (words + segWords - 1) / segWords
 }
 
-// foldFloats signs a float class hypervector over its IEEE-754 bit
-// patterns — the stored representation the fault model flips.
-func foldFloats(v hdc.Vector) (parity, digest uint64) {
-	digest = fnvOffset
-	for _, x := range v {
-		parity, digest = fold(parity, digest, math.Float64bits(x))
+// segDimRange returns the [lo,hi) local-dimension range of segment s.
+func segDimRange(dims, segWords, s int) (lo, hi int) {
+	lo = s * segWords * 64
+	hi = lo + segWords*64
+	if hi > dims {
+		hi = dims
 	}
-	return parity, digest
+	return lo, hi
 }
 
-// planeSig is the signature of one (learner, class) pair of quantized
-// planes: parity + digest over the sign plane and the confidence mask.
-type planeSig struct {
-	signParity, signDigest uint64
-	maskParity, maskDigest uint64
+// segMask builds the packed healthy-dimension mask of a dims-wide
+// learner with the listed segments masked out (every other bit set) —
+// the one place segment indexes turn into mask words, shared by the
+// serving-mask build and the criticality baseline so they can never
+// disagree about which words a segment covers.
+func segMask(dims, segWords int, masked []int) []uint64 {
+	words := (dims + 63) / 64
+	out := make([]uint64, words)
+	for w := range out {
+		out[w] = ^uint64(0)
+	}
+	for _, s := range masked {
+		lo := s * segWords
+		hi := lo + segWords
+		if hi > words {
+			hi = words
+		}
+		for w := lo; w < hi; w++ {
+			out[w] = 0
+		}
+	}
+	return out
+}
+
+// foldFloatSegs signs a float class hypervector per dimension segment
+// over its IEEE-754 bit patterns — the stored representation the fault
+// model flips.
+func foldFloatSegs(v hdc.Vector, segWords int) []segSig {
+	out := make([]segSig, segsFor(len(v), segWords))
+	for s := range out {
+		lo, hi := segDimRange(len(v), segWords, s)
+		var parity uint64
+		digest := fnvOffset
+		for _, x := range v[lo:hi] {
+			parity, digest = fold(parity, digest, math.Float64bits(x))
+		}
+		out[s] = segSig{parity, digest}
+	}
+	return out
+}
+
+// foldWordSegs signs a packed plane per dimension segment. dims (not
+// len(words)) drives the segment count so float and plane signatures of
+// one learner always agree on segment indexing.
+func foldWordSegs(words []uint64, dims, segWords int) []segSig {
+	out := make([]segSig, segsFor(dims, segWords))
+	for s := range out {
+		lo := s * segWords
+		hi := lo + segWords
+		if hi > len(words) {
+			hi = len(words)
+		}
+		var parity uint64
+		digest := fnvOffset
+		for _, w := range words[lo:hi] {
+			parity, digest = fold(parity, digest, w)
+		}
+		out[s] = segSig{parity, digest}
+	}
+	return out
 }
 
 // learnerSig is one weak learner's integrity signature: the version the
-// memory was signed at, per-class checksums over the float class
-// vectors, and — when a packed-binary backend serves — per-class parity
-// words over its quantized planes.
+// memory was signed at and per-class, per-segment checksums over the
+// float class vectors, plus — when a packed-binary backend serves —
+// per-class, per-segment parities over its quantized sign and mask
+// planes.
 type learnerSig struct {
-	version uint64
+	dims     int
+	segWords int
 
-	hasFloat    bool
-	classParity []uint64
-	classDigest []uint64
+	version   uint64
+	hasFloat  bool
+	classSegs [][]segSig // [class][segment] over float class vectors
 
 	hasPlanes    bool
 	planeVersion uint64
-	planes       []planeSig
+	signSegs     [][]segSig // [class][segment] over packed sign planes
+	maskSegs     [][]segSig // [class][segment] over confidence masks
 }
 
-// floatEqual reports whether the float-memory halves of two signatures
-// match.
-func (s *learnerSig) floatEqual(o *learnerSig) bool {
-	if s.hasFloat != o.hasFloat || len(s.classParity) != len(o.classParity) {
+// segsEqual reports whether two per-class segment tables match at
+// segment s across every class.
+func segsEqual(a, b [][]segSig, s int) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	for c := range s.classParity {
-		if s.classParity[c] != o.classParity[c] || s.classDigest[c] != o.classDigest[c] {
+	for c := range a {
+		if a[c][s] != b[c][s] {
 			return false
 		}
 	}
 	return true
+}
+
+// tableEqual reports whether two per-class segment tables match fully.
+func tableEqual(a, b [][]segSig) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c := range a {
+		if len(a[c]) != len(b[c]) {
+			return false
+		}
+		for s := range a[c] {
+			if a[c][s] != b[c][s] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// floatEqual reports whether the float-memory halves of two signatures
+// match (every class, every segment).
+func (s *learnerSig) floatEqual(o *learnerSig) bool {
+	return s.hasFloat == o.hasFloat && tableEqual(s.classSegs, o.classSegs)
 }
 
 // planesEqual reports whether the quantized-plane halves of two
 // signatures match.
 func (s *learnerSig) planesEqual(o *learnerSig) bool {
-	if s.hasPlanes != o.hasPlanes || len(s.planes) != len(o.planes) {
-		return false
+	return s.hasPlanes == o.hasPlanes &&
+		tableEqual(s.signSegs, o.signSegs) && tableEqual(s.maskSegs, o.maskSegs)
+}
+
+// segs returns the learner's dimension-segment count.
+func (s *learnerSig) segs() int { return segsFor(s.dims, s.segWords) }
+
+// floatBadSegs returns the dimension segments whose float signatures
+// differ between ref and cur, skipping segments already masked (their
+// reference values describe the pre-corruption memory on purpose — the
+// repair target — so they mismatch until repaired).
+func floatBadSegs(ref, cur *learnerSig, skip []bool) []int {
+	if !ref.hasFloat || !cur.hasFloat {
+		return nil
 	}
-	for c := range s.planes {
-		if s.planes[c] != o.planes[c] {
-			return false
+	var bad []int
+	for s := 0; s < ref.segs(); s++ {
+		if skip != nil && skip[s] {
+			continue
+		}
+		if !segsEqual(ref.classSegs, cur.classSegs, s) {
+			bad = append(bad, s)
 		}
 	}
-	return true
+	return bad
+}
+
+// planeBadSegs is floatBadSegs over the quantized sign and mask planes.
+func planeBadSegs(ref, cur *learnerSig, skip []bool) []int {
+	if !ref.hasPlanes || !cur.hasPlanes {
+		return nil
+	}
+	var bad []int
+	for s := 0; s < ref.segs(); s++ {
+		if skip != nil && skip[s] {
+			continue
+		}
+		if !segsEqual(ref.signSegs, cur.signSegs, s) || !segsEqual(ref.maskSegs, cur.maskSegs, s) {
+			bad = append(bad, s)
+		}
+	}
+	return bad
+}
+
+// signFloatLearner signs one learner's float class memory under its
+// read lock — the trainer→monitor handoff unit: a streaming update
+// that legitimately moved this learner is followed by a fresh signature
+// of exactly this learner, so strict scrubbing can keep treating
+// unannounced version movement as corruption.
+func signFloatLearner(l *onlinehd.HVClassifier, segWords int) learnerSig {
+	sig := learnerSig{dims: l.Dim, segWords: segWords}
+	l.ReadClass(func(class []hdc.Vector, version uint64) {
+		sig.version = version
+		sig.hasFloat = true
+		sig.classSegs = make([][]segSig, len(class))
+		for c, cv := range class {
+			sig.classSegs[c] = foldFloatSegs(cv, segWords)
+		}
+	})
+	return sig
 }
 
 // signModel computes the integrity signatures of every learner of the
 // serving engine: float class-vector checksums from the model behind it
 // (skipped for a frozen binary snapshot, which has no float memory) and
-// quantized-plane parities from the binary backend when one serves.
-// Each learner's float memory is read under its read lock, so every
-// signature records a consistent (version, contents) pair; learners are
-// signed in parallel — the scrub walks the whole model memory, which is
-// exactly the data-parallel shape internal/par exists for.
-func signModel(m *boosthd.Model, bin *infer.BinaryModel) []learnerSig {
+// quantized-plane parities from the binary backend when one serves —
+// all segmented, so a mismatch names the corrupted dimension range
+// rather than just the learner. Each learner's float memory is read
+// under its read lock, so every signature records a consistent
+// (version, contents) pair; learners are signed in parallel — the scrub
+// walks the whole model memory, which is exactly the data-parallel
+// shape internal/par exists for.
+func signModel(m *boosthd.Model, bin *infer.BinaryModel, segWords int) []learnerSig {
 	sigs := make([]learnerSig, len(m.Learners))
+	for i, l := range m.Learners {
+		sigs[i].dims = l.Dim
+		sigs[i].segWords = segWords
+	}
 	hasFloat := bin == nil || !bin.Frozen()
 	if hasFloat {
 		_ = par.ForEach(len(m.Learners), func(i int) error {
-			m.Learners[i].ReadClass(func(class []hdc.Vector, version uint64) {
-				s := &sigs[i]
-				s.version = version
-				s.hasFloat = true
-				s.classParity = make([]uint64, len(class))
-				s.classDigest = make([]uint64, len(class))
-				for c, cv := range class {
-					s.classParity[c], s.classDigest[c] = foldFloats(cv)
-				}
-			})
+			sigs[i] = signFloatLearner(m.Learners[i], segWords)
 			return nil
 		})
 	}
@@ -130,14 +277,14 @@ func signModel(m *boosthd.Model, bin *infer.BinaryModel) []learnerSig {
 		classes := m.Cfg.Classes
 		for i := range sigs {
 			sigs[i].hasPlanes = true
-			sigs[i].planes = make([]planeSig, classes)
+			sigs[i].signSegs = make([][]segSig, classes)
+			sigs[i].maskSegs = make([][]segSig, classes)
 		}
 		bin.ReadPlanes(func(learner, class int, version uint64, sign, mask []uint64) {
 			s := &sigs[learner]
 			s.planeVersion = version
-			p := &s.planes[class]
-			p.signParity, p.signDigest = foldWords(sign)
-			p.maskParity, p.maskDigest = foldWords(mask)
+			s.signSegs[class] = foldWordSegs(sign, s.dims, segWords)
+			s.maskSegs[class] = foldWordSegs(mask, s.dims, segWords)
 		})
 	}
 	return sigs

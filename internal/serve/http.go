@@ -54,6 +54,15 @@ type RetrainReport struct {
 	TookMS  float64 `json:"took_ms"`
 }
 
+// Chaos is the fault-injection hook behind the opt-in /inject drill
+// endpoint: it flips bits of the live serving memory under the given
+// per-bit probability and reports how many flipped. Implementations
+// decide which memory (the packed-binary planes, typically) and must be
+// safe against concurrent serving.
+type Chaos interface {
+	InjectWords(pb float64) (int, error)
+}
+
 // Reliability is the runtime-integrity hook the HTTP layer can expose:
 // the /reliability endpoint and the healthz reliability block read its
 // status, so operators see scrub results, quarantines, and the degraded
@@ -66,8 +75,14 @@ type Reliability interface {
 }
 
 // LearnerHealth is one weak learner's entry in the reliability ledger.
+// The quarantine is two-tier: "degraded" means specific dimension words
+// are masked out of the learner's vote (MaskedWords of them, leaving
+// HealthyFraction of its dimensions serving); "quarantined" means the
+// whole vote is alpha-masked.
 type LearnerHealth struct {
-	State           string  `json:"state"`                      // "healthy" or "quarantined"
+	State           string  `json:"state"`                      // "healthy", "degraded" (dimension-masked), or "quarantined"
+	MaskedWords     int     `json:"masked_words,omitempty"`     // packed 64-bit words masked out of this learner
+	HealthyFraction float64 `json:"healthy_fraction"`           // fraction of dimensions still voting (1 healthy, 0 quarantined)
 	IntegrityFaults uint64  `json:"integrity_faults,omitempty"` // signature mismatches observed
 	CanaryFaults    uint64  `json:"canary_faults,omitempty"`    // canary-accuracy collapses observed
 	Repairs         uint64  `json:"repairs,omitempty"`          // successful restores
@@ -78,20 +93,24 @@ type LearnerHealth struct {
 // ReliabilityStatus is a point-in-time snapshot of the reliability
 // monitor: the per-learner health ledger plus subsystem counters.
 type ReliabilityStatus struct {
-	// Degraded is true while at least one learner is quarantined: the
-	// server answers from the remaining ensemble redundancy.
-	Degraded    bool            `json:"degraded"`
-	Learners    int             `json:"learners"`
-	Quarantined []int           `json:"quarantined,omitempty"` // quarantined learner indexes
-	Ledger      []LearnerHealth `json:"ledger,omitempty"`
-	Scrubs      uint64          `json:"scrubs"`          // scrub passes completed
-	Detections  uint64          `json:"detections"`      // corruption events detected
-	Quarantines uint64          `json:"quarantines"`     // learners quarantined (cumulative)
-	Repairs     uint64          `json:"repairs"`         // learners repaired (cumulative)
-	RepairFails uint64          `json:"repair_failures"` // repair attempts that failed
-	CanaryRows  int             `json:"canary_rows"`     // held-out canary set size (0 = integrity-only)
-	LastScrubMS float64         `json:"last_scrub_ms"`   // duration of the most recent scrub pass
-	LastError   string          `json:"last_error,omitempty"`
+	// Degraded is true while at least one learner is quarantined or
+	// dimension-masked: the server answers from the remaining ensemble
+	// (and intra-learner) redundancy.
+	Degraded     bool            `json:"degraded"`
+	Learners     int             `json:"learners"`
+	SegmentWords int             `json:"segment_words"`         // signature/quarantine granularity in packed words
+	Quarantined  []int           `json:"quarantined,omitempty"` // fully alpha-masked learner indexes
+	DimMasked    []int           `json:"dim_masked,omitempty"`  // dimension-masked (still voting) learner indexes
+	MaskedWords  int             `json:"masked_words"`          // total packed words masked across the ensemble
+	Ledger       []LearnerHealth `json:"ledger,omitempty"`
+	Scrubs       uint64          `json:"scrubs"`          // scrub passes completed
+	Detections   uint64          `json:"detections"`      // corruption events detected
+	Quarantines  uint64          `json:"quarantines"`     // learners quarantined (cumulative)
+	Repairs      uint64          `json:"repairs"`         // learners repaired (cumulative)
+	RepairFails  uint64          `json:"repair_failures"` // repair attempts that failed
+	CanaryRows   int             `json:"canary_rows"`     // held-out canary set size (0 = integrity-only)
+	LastScrubMS  float64         `json:"last_scrub_ms"`   // duration of the most recent scrub pass
+	LastError    string          `json:"last_error,omitempty"`
 }
 
 // TrainerStatus is a point-in-time snapshot of trainer counters.
@@ -124,8 +143,15 @@ type HandlerConfig struct {
 	// Reliability enables /reliability and the healthz reliability block
 	// when non-nil.
 	Reliability Reliability
+	// Chaos enables the POST /inject fault-injection drill endpoint
+	// when non-nil — an opt-in for reliability exercises (smoke tests,
+	// game days) that flips bits in the live model memory and lets an
+	// operator watch the monitor detect, mask, and repair. Never enable
+	// it on a production port without AuthToken: it is deliberately a
+	// memory-corruption primitive.
+	Chaos Chaos
 	// AuthToken, when set, is required on every mutating endpoint
-	// (/swap, /observe, /retrain) as "Authorization: Bearer <token>";
+	// (/swap, /observe, /retrain, /inject) as "Authorization: Bearer <token>";
 	// requests without it answer 401. The read-only predict and health
 	// endpoints stay open. Unset leaves the mutating endpoints gated
 	// only by their opt-in config (CheckpointDir, Trainer) — fine on a
@@ -184,6 +210,7 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("/swap", h.swap)
 	mux.HandleFunc("/observe", h.observe)
 	mux.HandleFunc("/retrain", h.retrain)
+	mux.HandleFunc("/inject", h.inject)
 	return mux
 }
 
@@ -270,11 +297,13 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 			resp["status"] = "degraded"
 		}
 		resp["reliability"] = map[string]any{
-			"degraded":    rst.Degraded,
-			"quarantined": len(rst.Quarantined),
-			"scrubs":      rst.Scrubs,
-			"detections":  rst.Detections,
-			"repairs":     rst.Repairs,
+			"degraded":     rst.Degraded,
+			"quarantined":  len(rst.Quarantined),
+			"dim_masked":   len(rst.DimMasked),
+			"masked_words": rst.MaskedWords,
+			"scrubs":       rst.Scrubs,
+			"detections":   rst.Detections,
+			"repairs":      rst.Repairs,
 		}
 	}
 	writeJSON(w, resp)
@@ -424,6 +453,37 @@ func (h *handler) retrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, report)
+}
+
+// inject runs one opt-in fault-injection drill: flip bits of the live
+// model memory at the requested per-bit probability and report the flip
+// count. 404 unless a Chaos hook is configured (it never exists unless
+// the operator asked for it), auth-gated like every mutating endpoint.
+func (h *handler) inject(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodPost) || !h.authorized(w, r) {
+		return
+	}
+	if h.cfg.Chaos == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no chaos injection configured"))
+		return
+	}
+	var req struct {
+		Pb float64 `json:"pb"`
+	}
+	if !h.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Pb <= 0 || req.Pb > 1 {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: per-bit flip probability %v outside (0,1]", ErrBadInput, req.Pb))
+		return
+	}
+	flips, err := h.cfg.Chaos.InjectWords(req.Pb)
+	if err != nil {
+		httpError(w, predictStatus(err), err)
+		return
+	}
+	writeJSON(w, map[string]int{"flips": flips})
 }
 
 // authorized enforces the bearer token on mutating endpoints when one

@@ -85,10 +85,42 @@ type Trainer struct {
 	lastErrMu sync.Mutex
 	lastErr   string
 
+	// observer, when set, is called with the indexes of the learners
+	// each applied update actually moved — the trainer side of the
+	// trainer×reliability contract (see SetMutationObserver).
+	observer atomic.Pointer[func(learners []int)]
+
 	loopMu   sync.Mutex
 	stop     chan struct{}
 	done     chan struct{}
 	stopping bool // stop already signaled, loop not yet confirmed exited
+}
+
+// SetMutationObserver registers fn to be called after every applied
+// incremental update with the learners it moved. This is the
+// trainer×reliability integrity contract: a reliability monitor wires
+// its NoteMutation here so each legitimate class-memory mutation is
+// followed by a fresh per-learner signature handoff, and strict
+// scrubbing (Config.SignedUpdates) no longer has to trust version bumps
+// wholesale. Passing nil detaches. Wire it before traffic flows:
+// updates applied with no observer registered are unannounced, and a
+// strict monitor will read them as corruption.
+func (t *Trainer) SetMutationObserver(fn func(learners []int)) {
+	if fn == nil {
+		t.observer.Store(nil)
+		return
+	}
+	t.observer.Store(&fn)
+}
+
+// notifyMutation hands the moved learners to the registered observer.
+func (t *Trainer) notifyMutation(learners []int) {
+	if len(learners) == 0 {
+		return
+	}
+	if fn := t.observer.Load(); fn != nil {
+		(*fn)(learners)
+	}
 }
 
 // New builds a Trainer over the model behind srv's current serving
@@ -170,8 +202,9 @@ func (t *Trainer) ingest(m *boosthd.Model, x []float64, label int) error {
 		if err != nil {
 			return fmt.Errorf("trainer: %w", err)
 		}
-		if changed > 0 {
+		if len(changed) > 0 {
 			t.updated.Add(1)
+			t.notifyMutation(changed)
 		}
 	}
 	return nil
@@ -203,11 +236,16 @@ func (t *Trainer) ObserveBatch(X [][]float64, y []int) error {
 		// One blocked batch-encode pass instead of a scalar projection
 		// sweep per row; updates land in row order under the same
 		// per-learner locks.
-		changed, err := m.UpdateBatch(X, y)
+		changedRows, changed, err := m.UpdateBatch(X, y)
 		if err != nil {
+			// Rows already applied before the failure still moved
+			// learners; announce them so a strict monitor does not read
+			// the partial batch as corruption.
+			t.notifyMutation(changed)
 			return fmt.Errorf("trainer: %w", err)
 		}
-		t.updated.Add(uint64(changed))
+		t.updated.Add(uint64(changedRows))
+		t.notifyMutation(changed)
 	}
 	return nil
 }

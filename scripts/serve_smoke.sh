@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# End-to-end smoke for the serving + continual-learning stack: train a
-# tiny checkpoint, serve it with the trainer enabled, stream labeled
-# observations over /observe, trigger a hot retrain over /retrain, and
-# assert the atomic engine swap registered in /healthz. Finishes by
+# End-to-end smoke for the serving + continual-learning + reliability
+# stack: train a tiny checkpoint, serve it quantized with the trainer
+# and scrubber enabled, stream labeled observations over /observe,
+# trigger a hot retrain over /retrain, then run a chaos drill: inject
+# word faults over /inject and assert the monitor repairs them at
+# dimension granularity — no learner's alpha ever reaches 0 (state
+# never "quarantined", healthy_fraction never 0). Finishes by
 # SIGTERM-ing the server, exercising the graceful drain.
 set -euo pipefail
 
@@ -19,10 +22,15 @@ echo "== training tiny checkpoint"
 go run ./cmd/boosthd -dataset wesad -dim 800 -nl 4 -epochs 2 -runs 1 \
   -subjects 6 -samples 512 -save "$workdir/model.bhde"
 
-echo "== starting boosthd-serve with the trainer and the reliability scrubber"
+echo "== starting boosthd-serve (binary backend) with the trainer, the reliability scrubber, and chaos injection"
 go build -o "$workdir/boosthd-serve" ./cmd/boosthd-serve
+# -min-healthy 0.3: the tiny demo model has only 4 one-word segments
+# per learner, so two unlucky flips in one learner would mask half of
+# it — keep the escalation floor below that so the drill stays in the
+# dimension tier by construction, not by RNG luck.
 "$workdir/boosthd-serve" -addr 127.0.0.1:18080 -checkpoint "$workdir/model.bhde" \
-  -trainer -buffer 512 -checkpoint-dir "$workdir" -scrub-every 500ms &
+  -backend binary -trainer -buffer 512 -checkpoint-dir "$workdir" \
+  -scrub-every 300ms -segment-words 1 -min-healthy 0.3 -chaos &
 server_pid=$!
 
 up=""
@@ -68,15 +76,49 @@ assert health["swaps"] >= 1, health
 assert health["trainer"]["retrains"] >= 1, health
 assert health["trainer"]["observed"] == 96, health
 assert health["model"]["version"] >= 2, health          # the swap landed
-assert health["model"]["backend"] == "float", health
+assert health["model"]["backend"] == "packed-binary", health
 assert health["reliability"]["degraded"] is False, health
 
 import time
-time.sleep(1.2)  # let the scrubber tick over the retrained model
+time.sleep(0.8)  # let the scrubber tick over the retrained model
 rel = call("/reliability")
 assert rel["scrubs"] >= 1, rel
 assert rel["learners"] > 0 and not rel["degraded"], rel
 assert all(e["state"] == "healthy" for e in rel["ledger"]), rel
+assert rel["segment_words"] == 1, rel
+
+# Chaos drill: inject silent word faults into the live quantized planes
+# and watch the monitor repair them at dimension granularity. The key
+# assertion: no learner's vote is ever fully silenced — every ledger
+# state stays "healthy" or "degraded" (dimension-masked) with a
+# non-zero healthy fraction, and repairs land without intervention.
+# Low pb + stop at the first hit keeps the injected damage to a flip
+# or two — squarely in dimension-mask territory under -min-healthy 0.3.
+repairs0 = rel["repairs"]
+flips = 0
+for _ in range(100):
+    r = call("/inject", {"pb": 1e-4})
+    flips += r["flips"]
+    if flips > 0:
+        break
+assert flips > 0, "chaos injection never flipped a bit"
+
+deadline = time.time() + 20
+saw_masked = False
+while True:
+    rel = call("/reliability")
+    for e in rel["ledger"]:
+        assert e["state"] != "quarantined", rel   # alpha never reaches 0
+        assert e["healthy_fraction"] > 0, rel
+    if rel.get("masked_words", 0) > 0 or rel.get("dim_masked"):
+        saw_masked = True
+    if rel["repairs"] > repairs0 and not rel["degraded"]:
+        break
+    assert time.time() < deadline, ("word fault never repaired", rel)
+    time.sleep(0.1)
+assert rel["detections"] >= 1, rel
+assert all(e["state"] == "healthy" for e in rel["ledger"]), rel
+print("smoke ok: chaos drill repaired %d flips (dimension-masked seen: %s)" % (flips, saw_masked))
 print("smoke ok:", json.dumps(health))
 EOF
 
