@@ -67,7 +67,20 @@ func main() {
 		{"fig6", func() error { t, err := experiments.RunFigure6(opt); return show(t, err) }},
 		{"fig7", func() error { t, err := experiments.RunFigure7(opt); return show(t, err) }},
 		{"fig8", func() error { t, err := experiments.RunFigure8(opt); return show(t, err) }},
-		{"infer", func() error { t, err := experiments.RunInferBench(opt); return show(t, err) }},
+		{"infer", func() error {
+			t, err := experiments.RunInferBench(opt)
+			if err := show(t, err); err != nil {
+				return err
+			}
+			a, b, err := experiments.RunInferSweep(opt)
+			if err != nil {
+				return err
+			}
+			if err := show(a, nil); err != nil {
+				return err
+			}
+			return show(b, nil)
+		}},
 		{"serve", func() error { t, err := experiments.RunServeBench(opt); return show(t, err) }},
 		{"drift", func() error { t, err := experiments.RunDrift(opt); return show(t, err) }},
 		{"reliability", func() error { t, err := experiments.RunReliability(opt); return show(t, err) }},

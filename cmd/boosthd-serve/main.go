@@ -8,6 +8,7 @@
 // Usage:
 //
 //	boosthd-serve [-addr :8080] [-checkpoint model.bhde] [-backend float|binary]
+//	              [-projection stored|seeded-stored|seeded]
 //	              [-max-batch 64] [-max-wait 200us] [-workers N]
 //	              [-checkpoint-dir dir] [-body-limit bytes] [-max-rows N]
 //	              [-auth-token secret]
@@ -22,7 +23,8 @@
 // binary snapshot (BinaryModel.Save) that cold-loads without
 // re-quantization. Without -checkpoint the server trains a demo model on
 // the synthetic WESAD workload so the endpoints can be exercised
-// immediately.
+// immediately; -projection selects that demo model's encoder projection
+// (stored matrix, seeded-stored, or the rematerialized seeded encoder).
 //
 // Hardening: every request body is capped (-body-limit, 413 beyond),
 // batch row counts are capped (-max-rows, 400 beyond), the listener
@@ -57,6 +59,7 @@
 //	POST /predict        {"features":[...]}                      -> {"label":n}
 //	POST /predict_batch  {"rows":[[...],...]}                    -> {"labels":[...]}
 //	GET  /healthz                                                -> serving + trainer stats
+//	GET  /metrics                                                -> Prometheus text metrics
 //	POST /swap           {"checkpoint":"name","backend":"float"} -> swap report
 //	POST /observe        {"features":[...],"label":n}            -> ingestion report
 //	POST /retrain        {}                                      -> retrain report
@@ -77,6 +80,7 @@ import (
 	"time"
 
 	"boosthd/internal/boosthd"
+	"boosthd/internal/encoding"
 	"boosthd/internal/faults"
 	"boosthd/internal/infer"
 	"boosthd/internal/reliability"
@@ -90,6 +94,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	checkpoint := flag.String("checkpoint", "", "model checkpoint to serve (empty = train a synthetic demo model)")
 	backend := flag.String("backend", "float", "serving backend: float or binary")
+	projection := flag.String("projection", "stored", "demo-model encoder projection: stored, seeded-stored, or seeded (remat)")
 	maxBatch := flag.Int("max-batch", 0, "micro-batcher max coalesced rows (0 = default 64)")
 	maxWait := flag.Duration("max-wait", 0, "micro-batcher straggler wait (0 = default 200us)")
 	workers := flag.Int("workers", 0, "batch executor goroutines (0 = GOMAXPROCS)")
@@ -139,6 +144,16 @@ func main() {
 		// meaning.
 		fail(fmt.Errorf("-quarantine-threshold must be positive (got %v)", *quarantineThreshold))
 	}
+	proj, err := encoding.ParseProjection(strings.ToLower(*projection))
+	if err != nil {
+		fail(err)
+	}
+	if proj != encoding.ProjStored && *checkpoint != "" {
+		// A checkpoint already fixes its own projection mode; accepting the
+		// flag here would suggest it re-encodes the served model.
+		fail(fmt.Errorf("-projection applies only to the demo model (no -checkpoint); " +
+			"checkpoints carry their projection mode"))
+	}
 	if *canaryRows > 0 && *checkpoint != "" {
 		// The canary is held out of the demo workload; a checkpointed
 		// model brings no data to hold out. Refuse rather than silently
@@ -152,7 +167,6 @@ func main() {
 		eng     *infer.Engine
 		canaryX [][]float64
 		canaryY []int
-		err     error
 	)
 	if *checkpoint != "" {
 		eng, err = serve.LoadEngine(*checkpoint, *backend)
@@ -161,7 +175,7 @@ func main() {
 		}
 		fmt.Printf("serving checkpoint %s on the %s backend\n", *checkpoint, eng.Backend())
 	} else {
-		eng, canaryX, canaryY, err = demoEngine(*backend, *canaryRows)
+		eng, canaryX, canaryY, err = demoEngine(*backend, proj, *canaryRows)
 		if err != nil {
 			fail(err)
 		}
@@ -313,7 +327,7 @@ func main() {
 // the server is usable without a checkpoint file. canary > 0 holds that
 // many held-out (subject-disjoint, train-normalized) rows back as the
 // reliability monitor's canary set.
-func demoEngine(backend string, canary int) (*infer.Engine, [][]float64, []int, error) {
+func demoEngine(backend string, proj encoding.Projection, canary int) (*infer.Engine, [][]float64, []int, error) {
 	cfg := synth.WESADConfig()
 	cfg.NumSubjects = 12
 	cfg.SamplesPerState = 1536
@@ -334,6 +348,7 @@ func demoEngine(backend string, canary int) (*infer.Engine, [][]float64, []int, 
 	}
 	mcfg := boosthd.DefaultConfig(10000, 10, data.NumClasses)
 	mcfg.Epochs = 5
+	mcfg.Projection = proj
 	m, err := boosthd.Train(train.X, train.Y, mcfg)
 	if err != nil {
 		return nil, nil, nil, err

@@ -5,7 +5,7 @@
 //
 //	boosthd -dataset wesad|nurse|stresspredict
 //	        -model boosthd|onlinehd|adaboost|rf|xgboost|svm|dnn
-//	        [-backend float|binary]
+//	        [-backend float|binary] [-projection stored|seeded-stored|seeded]
 //	        [-dim 10000] [-nl 10] [-epochs 20] [-runs 3] [-seed 7]
 //	        [-subjects N] [-samples N]
 //	        [-save model.bhde] [-save-binary model.bhdb]
@@ -13,6 +13,14 @@
 // -backend selects the BoostHD serving engine: float cosine scoring, or
 // the packed-binary backend that quantizes the trained model to bit
 // vectors and scores by Hamming similarity.
+//
+// -projection selects the encoder's projection representation: "stored"
+// is the legacy materialized Gaussian matrix, "seeded-stored" a
+// materialized counter-based matrix, "seeded" (alias "remat") the
+// rematerialized encoder that regenerates projection rows in-kernel —
+// O(1) encoder state, seed-sized checkpoints, identical predictions to
+// seeded-stored. Seeded checkpoints use a newer wire framing that older
+// builds reject loudly.
 //
 // -save writes the last run's trained BoostHD ensemble as a float
 // checkpoint; -save-binary writes its quantized binary snapshot. Both
@@ -33,6 +41,7 @@ import (
 
 	"boosthd/internal/boosthd"
 	"boosthd/internal/dataset"
+	"boosthd/internal/encoding"
 	"boosthd/internal/ensemble"
 	"boosthd/internal/forest"
 	"boosthd/internal/gbdt"
@@ -49,6 +58,7 @@ func main() {
 	datasetName := flag.String("dataset", "wesad", "wesad, nurse, or stresspredict")
 	modelName := flag.String("model", "boosthd", "boosthd, onlinehd, adaboost, rf, xgboost, svm, dnn")
 	backend := flag.String("backend", "float", "BoostHD serving backend: float or binary")
+	projection := flag.String("projection", "stored", "BoostHD encoder projection: stored, seeded-stored, or seeded (remat)")
 	dim := flag.Int("dim", 10000, "HDC total dimension Dtotal")
 	nl := flag.Int("nl", 10, "BoostHD weak learners NL")
 	epochs := flag.Int("epochs", 20, "HDC training epochs")
@@ -64,6 +74,13 @@ func main() {
 	case "", "float", "binary", "packed-binary":
 	default:
 		fail(fmt.Errorf("unknown backend %q (want float or binary)", *backend))
+	}
+	proj, err := encoding.ParseProjection(strings.ToLower(*projection))
+	if err != nil {
+		fail(err)
+	}
+	if proj != encoding.ProjStored && !strings.EqualFold(*modelName, "boosthd") {
+		fail(fmt.Errorf("-projection %s applies only to -model boosthd", *projection))
 	}
 	if !strings.EqualFold(*backend, "float") && *backend != "" && !strings.EqualFold(*modelName, "boosthd") {
 		fail(fmt.Errorf("-backend %s applies only to -model boosthd", *backend))
@@ -117,7 +134,7 @@ func main() {
 		}
 
 		start := time.Now()
-		predict, trained, err := trainModel(*modelName, *backend, train, *dim, *nl, *epochs, splitSeed)
+		predict, trained, err := trainModel(*modelName, *backend, proj, train, *dim, *nl, *epochs, splitSeed)
 		if err != nil {
 			fail(err)
 		}
@@ -191,13 +208,14 @@ func datasetConfig(name string) (synth.Config, error) {
 
 type predictor func([][]float64) ([]int, error)
 
-func trainModel(name, backend string, train *dataset.Dataset, dim, nl, epochs int, seed int64) (predictor, *boosthd.Model, error) {
+func trainModel(name, backend string, proj encoding.Projection, train *dataset.Dataset, dim, nl, epochs int, seed int64) (predictor, *boosthd.Model, error) {
 	classes := train.NumClasses
 	switch strings.ToLower(name) {
 	case "boosthd":
 		cfg := boosthd.DefaultConfig(dim, nl, classes)
 		cfg.Epochs = epochs
 		cfg.Seed = seed
+		cfg.Projection = proj
 		m, err := boosthd.Train(train.X, train.Y, cfg)
 		if err != nil {
 			return nil, nil, err

@@ -63,6 +63,16 @@ type Config struct {
 	Gamma       float64 // kernel bandwidth; <= 0 selects the median heuristic
 	GammaSpread float64 // per-learner bandwidth spread factor (see Train); 0 = single scale
 	Seed        int64
+
+	// Projection selects the encoder's projection representation: the
+	// zero value keeps the legacy stored math/rand Gaussian matrix (and
+	// byte-identical behavior for existing checkpoints); the seeded modes
+	// use counter-based Rademacher streams, with encoding.ProjSeeded
+	// rematerializing rows inside the kernels for O(1) encoder state.
+	// Checkpoints carrying a non-zero mode are framed at a newer wire
+	// version so pre-seeded builds reject them loudly instead of silently
+	// rebuilding the wrong encoder.
+	Projection encoding.Projection
 }
 
 // DefaultConfig returns the paper's Section IV ensemble hyperparameters:
@@ -564,6 +574,11 @@ func (m *Model) InputDim() int { return m.inputDim }
 // Gamma returns the resolved base kernel bandwidth used at training time
 // (checkpoint formats rebuild the encoder stack from it).
 func (m *Model) Gamma() float64 { return m.gamma }
+
+// EncoderStateBytes reports the resident memory of the encoder stack:
+// the stored projection matrices, phases, and activation caches — or the
+// O(1) stream roots when the configuration rematerializes its projection.
+func (m *Model) EncoderStateBytes() int { return m.Enc.StateBytes() }
 
 // Segments returns the dimension partition as (lo, hi) pairs.
 func (m *Model) Segments() [][2]int {

@@ -26,6 +26,9 @@ type hdEncoder interface {
 	// EncodeSegmentBitsBatch writes the sign bits of segment i of row r's
 	// encoding into dst[r][i], register-blocking rows.
 	EncodeSegmentBitsBatch(xs [][]float64, segs []segment, dst [][]*hdc.BitVector) error
+	// StateBytes reports the stack's resident encoder state — the number
+	// the rematerialized-projection mode exists to shrink.
+	StateBytes() int
 }
 
 // singleEncoder adapts one shared full-width projection to the hdEncoder
@@ -76,13 +79,25 @@ type spreadEncoder struct {
 	out  int
 }
 
+// newSubEncoder builds one projection for the stack, honoring the
+// configured projection mode: the legacy stored math/rand matrix for the
+// zero value (existing checkpoints rebuild byte-identical encoders), a
+// counter-based seeded encoder otherwise. The seed schedule is shared
+// across modes, so a config differs only in where its projection lives.
+func newSubEncoder(features, outDim int, cfg Config, gamma float64, seed int64) (*encoding.Encoder, error) {
+	if cfg.Projection == encoding.ProjStored {
+		return encoding.NewWithGamma(features, outDim, cfg.Encoder, gamma, seed)
+	}
+	return encoding.NewSeededWithGamma(features, outDim, cfg.Encoder, gamma, seed, cfg.Projection)
+}
+
 // newSpreadEncoder builds the encoder stack for cfg. GammaSpread <= 1 (or
 // a single learner) degenerates to one shared encoder with the base
 // bandwidth; otherwise learner i gets bandwidth
 // gamma * spread^(2i/(NL-1) - 1), covering [gamma/spread, gamma*spread].
 func newSpreadEncoder(features int, cfg Config, gamma float64) (hdEncoder, error) {
 	if cfg.GammaSpread <= 1 || cfg.NumLearners == 1 {
-		enc, err := encoding.NewWithGamma(features, cfg.TotalDim, cfg.Encoder, gamma, cfg.Seed)
+		enc, err := newSubEncoder(features, cfg.TotalDim, cfg, gamma, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +109,7 @@ func newSpreadEncoder(features int, cfg Config, gamma float64) (hdEncoder, error
 	for i, s := range segs {
 		t := 2*float64(i)/nl - 1 // -1 .. +1 across learners
 		g := gamma * pow(cfg.GammaSpread, t)
-		enc, err := encoding.NewWithGamma(features, s.hi-s.lo, cfg.Encoder, g, cfg.Seed+int64(i)*7717)
+		enc, err := newSubEncoder(features, s.hi-s.lo, cfg, g, cfg.Seed+int64(i)*7717)
 		if err != nil {
 			return nil, fmt.Errorf("boosthd: segment %d encoder: %w", i, err)
 		}
@@ -149,6 +164,15 @@ func (se *spreadEncoder) EncodeBatch(xs [][]float64) ([]hdc.Vector, error) {
 		outs[i] = hdc.Vector(flat[i*se.out : (i+1)*se.out])
 	}
 	return outs, nil
+}
+
+// StateBytes sums the sub-encoders' resident state.
+func (se *spreadEncoder) StateBytes() int {
+	total := 0
+	for _, enc := range se.encs {
+		total += enc.StateBytes()
+	}
+	return total
 }
 
 // EncodeSegmentBits asks each per-segment sub-encoder for its sign bits

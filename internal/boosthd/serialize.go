@@ -6,10 +6,40 @@ import (
 	"fmt"
 	"io"
 
+	"boosthd/internal/encoding"
 	"boosthd/internal/hdc"
 	"boosthd/internal/onlinehd"
 	"boosthd/internal/wire"
 )
+
+// wireVersionFor picks the lowest header version whose feature set the
+// configuration needs: legacy stored-matrix configs stay at Version1 so
+// older builds keep reading them; seeded-encoder configs require
+// VersionSeeded so pre-seeded builds reject them loudly.
+func wireVersionFor(cfg Config) byte {
+	if cfg.Projection != encoding.ProjStored {
+		return wire.VersionSeeded
+	}
+	return wire.Version1
+}
+
+// CheckProjectionWire validates a checkpoint's decoded projection mode
+// against the header version it arrived under. Every loader that decodes
+// a Config runs this before rebuilding encoders: an unknown mode means a
+// newer (or foreign) writer, and a seeded mode under a version-1 (or
+// legacy headerless) frame means a writer that did not follow the
+// framing contract — either way the blob must not be trusted, because a
+// build that ignored the field would silently rebuild the wrong encoder.
+func CheckProjectionWire(version byte, p encoding.Projection) error {
+	if p < encoding.ProjStored || p > encoding.ProjSeeded {
+		return fmt.Errorf("unknown projection mode %d; written by a newer build?", int(p))
+	}
+	if p != encoding.ProjStored && version < wire.VersionSeeded {
+		return fmt.Errorf("seeded-encoder checkpoint framed at header version %d (need >= %d); foreign or corrupted writer",
+			version, wire.VersionSeeded)
+	}
+	return nil
+}
 
 // ensembleWire is the gob wire format of a trained BoostHD ensemble. Like
 // the OnlineHD format it ships only the learned state — the encoder stack
@@ -48,7 +78,7 @@ func (m *Model) Save(w io.Writer) error {
 			ew.Class[i] = cp
 		})
 	}
-	if err := wire.WriteHeader(w, wire.MagicEnsemble); err != nil {
+	if err := wire.WriteHeaderVersion(w, wire.MagicEnsemble, wireVersionFor(m.Cfg)); err != nil {
 		return fmt.Errorf("boosthd: save: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(&ew); err != nil {
@@ -100,7 +130,7 @@ func Rehydrate(cfg Config, inDim int, gamma float64) (*Model, error) {
 // the norm-cache version — a model loaded in place of one already shared
 // with serving goroutines can never serve stale cached norms.
 func Load(r io.Reader) (*Model, error) {
-	_, body, err := wire.ReadHeader(r, wire.MagicEnsemble)
+	v, body, err := wire.ReadHeader(r, wire.MagicEnsemble)
 	if err != nil {
 		return nil, fmt.Errorf("boosthd: load: %w", err)
 	}
@@ -110,6 +140,9 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	cfg := ew.Cfg
 	if err := wire.CheckDims(cfg.TotalDim, ew.InDim, cfg.Classes, cfg.NumLearners); err != nil {
+		return nil, fmt.Errorf("boosthd: load: %w", err)
+	}
+	if err := CheckProjectionWire(v, cfg.Projection); err != nil {
 		return nil, fmt.Errorf("boosthd: load: %w", err)
 	}
 	if len(ew.Class) != cfg.NumLearners {

@@ -65,8 +65,20 @@ type Encoder struct {
 	Kind   Kind
 	Gamma  float64
 
-	w []float64 // OutDim x InDim projection, row-major
-	b []float64 // OutDim phase offsets
+	// Proj selects the projection representation. The zero value
+	// (ProjStored) is the legacy materialized math/rand matrix; the seeded
+	// modes (built by NewSeeded*) draw from counter-based splitmix64
+	// streams, and ProjSeeded carries no projection memory at all —
+	// kernels regenerate rows in flight from wBase/bBase.
+	Proj Projection
+
+	// wBase/bBase root the counter streams of the seeded modes; wpr is the
+	// number of 64-bit sign words per projection row, ceil(InDim/64).
+	wBase, bBase uint64
+	wpr          int
+
+	w []float64 // OutDim x InDim projection, row-major (nil when ProjSeeded)
+	b []float64 // OutDim phase offsets (nil when ProjSeeded)
 
 	// halfSinB caches 0.5*sin(b_j) for the product-to-sum form of the
 	// nonlinear activation: cos(d+b)*sin(d) = 0.5*sin(2d+b) - 0.5*sin(b),
@@ -144,6 +156,10 @@ func (e *Encoder) project(j int, x []float64) float64 {
 // encodeRange writes components [lo,hi) of the encoding of x into
 // dst[0:hi-lo]. The activation switch is hoisted out of the component loop.
 func (e *Encoder) encodeRange(x []float64, lo, hi int, dst []float64) {
+	if e.Proj == ProjSeeded {
+		e.rematEncodeRange(x, lo, hi, dst)
+		return
+	}
 	switch e.Kind {
 	case Nonlinear:
 		for j := lo; j < hi; j++ {
@@ -292,6 +308,10 @@ func (e *Encoder) EncodeBatchInto(xs [][]float64, out []float64, stride, offset 
 			hi = len(xs)
 		}
 		dst := func(i int) []float64 { return out[i*stride+offset : i*stride+offset+e.OutDim] }
+		if e.Proj == ProjSeeded {
+			e.rematEncodeRows(xs, lo, hi, dst)
+			return nil
+		}
 		for j0 := 0; j0 < e.OutDim; j0 += encodeDimBlock {
 			j1 := j0 + encodeDimBlock
 			if j1 > e.OutDim {
@@ -353,6 +373,10 @@ func (e *Encoder) EncodeBitsRange(x []float64, lo, hi int, dst *hdc.BitVector) e
 	if dst.N != hi-lo {
 		return fmt.Errorf("encoding: bit destination dim %d != range width %d", dst.N, hi-lo)
 	}
+	if e.Proj == ProjSeeded {
+		e.rematEncodeBitsRange(x, lo, hi, dst)
+		return nil
+	}
 	switch e.Kind {
 	case Nonlinear:
 		for j := lo; j < hi; j++ {
@@ -400,6 +424,10 @@ func (e *Encoder) EncodeBitsRangeBatch(xs [][]float64, lo, hi int, dst []*hdc.Bi
 		if d.N != hi-lo {
 			return fmt.Errorf("encoding: row %d bit destination dim %d != range width %d", i, d.N, hi-lo)
 		}
+	}
+	if e.Proj == ProjSeeded {
+		e.rematEncodeBitsBatch(xs, lo, hi, dst)
+		return nil
 	}
 	r := 0
 	for ; r+4 <= len(xs); r += 4 {
@@ -517,8 +545,16 @@ func (e *Encoder) encodeBits4(x0, x1, x2, x3 []float64, lo, hi int, d0, d1, d2, 
 }
 
 // ProjectionMatrix returns a copy of the OutDim x InDim projection weights;
-// the random-matrix experiments inspect encoder spectra through it.
+// the random-matrix experiments inspect encoder spectra through it. On a
+// rematerialized (ProjSeeded) encoder the matrix is not resident: the rows
+// are generated on demand from the counter streams, which is O(OutDim x
+// InDim) work and allocation — identical bits to what a ProjSeededStored
+// encoder of the same seed holds, but deliberately not cached so the
+// encoder keeps its O(1) state.
 func (e *Encoder) ProjectionMatrix() []float64 {
+	if e.Proj == ProjSeeded {
+		return e.materializeRows(0, e.OutDim)
+	}
 	out := make([]float64, len(e.w))
 	copy(out, e.w)
 	return out

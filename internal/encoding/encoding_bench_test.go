@@ -3,6 +3,8 @@ package encoding
 import (
 	"math/rand"
 	"testing"
+
+	"boosthd/internal/hdc"
 )
 
 func benchInput(f int) []float64 {
@@ -52,6 +54,72 @@ func BenchmarkEncodeBatchParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEncodeBatchRemat measures the rematerializing encoder on the
+// same batch workload as BenchmarkEncodeBatchParallel: projection tiles
+// are regenerated from the seeded counter streams inside the kernel
+// instead of being read from a stored matrix.
+func BenchmarkEncodeBatchRemat(b *testing.B) {
+	e, err := NewSeeded(36, 10000, Nonlinear, 1, ProjSeeded)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	xs := make([][]float64, 64)
+	for i := range xs {
+		xs[i] = make([]float64, 36)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EncodeBatch(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEncodeBits(b *testing.B, e *Encoder) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	xs := make([][]float64, 64)
+	for i := range xs {
+		xs[i] = make([]float64, 36)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+	dst := make([]*hdc.BitVector, len(xs))
+	for i := range dst {
+		dst[i] = hdc.NewBitVector(e.OutDim)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.EncodeBitsRangeBatch(xs, 0, e.OutDim, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeBitsStored / BenchmarkEncodeBitsRemat measure the
+// sign-only batch encoders (the packed-binary backend's query path) with
+// the projection stored vs rematerialized.
+func BenchmarkEncodeBitsStored(b *testing.B) {
+	e, err := NewSeeded(36, 10000, Nonlinear, 1, ProjSeededStored)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEncodeBits(b, e)
+}
+
+func BenchmarkEncodeBitsRemat(b *testing.B) {
+	e, err := NewSeeded(36, 10000, Nonlinear, 1, ProjSeeded)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEncodeBits(b, e)
 }
 
 func BenchmarkIDLevelEncode(b *testing.B) {

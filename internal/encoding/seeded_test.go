@@ -1,0 +1,231 @@
+package encoding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"boosthd/internal/hdc"
+)
+
+// seededTestRows draws deterministic standardized-looking feature rows.
+func seededTestRows(seed int64, n, features int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	for i := range xs {
+		row := make([]float64, features)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		xs[i] = row
+	}
+	return xs
+}
+
+// seededPair builds the materialized and rematerialized seeded encoders
+// for one geometry/seed.
+func seededPair(t *testing.T, inDim, outDim int, kind Kind, seed int64) (stored, remat *Encoder) {
+	t.Helper()
+	stored, err := NewSeeded(inDim, outDim, kind, seed, ProjSeededStored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remat, err = NewSeeded(inDim, outDim, kind, seed, ProjSeeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stored, remat
+}
+
+// TestSeededModesBitIdenticalFloat is the tentpole's core contract: the
+// rematerialized encoder must produce IEEE-bit-identical float encodings
+// to the materialized encoder of the same seed, through both the scalar
+// and the blocked batch kernels. Geometry deliberately includes feature
+// widths that are not multiples of 64 (partial sign words) and output
+// dims that are not multiples of the dim block.
+func TestSeededModesBitIdenticalFloat(t *testing.T) {
+	for _, kind := range []Kind{Nonlinear, RFF, Linear} {
+		for _, geom := range []struct{ in, out int }{{36, 1000}, {7, 130}, {64, 512}, {100, 333}} {
+			stored, remat := seededPair(t, geom.in, geom.out, kind, 42)
+			xs := seededTestRows(7, 37, geom.in) // odd row count exercises the scalar tail
+
+			flatS := make([]float64, len(xs)*geom.out)
+			flatR := make([]float64, len(xs)*geom.out)
+			if err := stored.EncodeBatchInto(xs, flatS, geom.out, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := remat.EncodeBatchInto(xs, flatR, geom.out, 0); err != nil {
+				t.Fatal(err)
+			}
+			for i := range flatS {
+				if math.Float64bits(flatS[i]) != math.Float64bits(flatR[i]) {
+					t.Fatalf("kind=%v in=%d out=%d: batch encodings differ at flat index %d: stored=%v remat=%v",
+						kind, geom.in, geom.out, i, flatS[i], flatR[i])
+				}
+			}
+
+			// Scalar path must agree with itself and with the batch path.
+			hS, err := stored.Encode(xs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			hR, err := remat.Encode(xs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range hS {
+				if math.Float64bits(hS[j]) != math.Float64bits(hR[j]) {
+					t.Fatalf("kind=%v: scalar encodings differ at %d", kind, j)
+				}
+				if math.Float64bits(hR[j]) != math.Float64bits(flatR[j]) {
+					t.Fatalf("kind=%v: remat scalar and batch disagree at %d", kind, j)
+				}
+			}
+		}
+	}
+}
+
+// TestSeededModesBitIdenticalBits pins the sign-bit kernels: packed bit
+// encodings from the two seeded modes must match word for word, on both
+// the scalar and the 4-row blocked paths, including sub-ranges that model
+// BoostHD's per-learner segments.
+func TestSeededModesBitIdenticalBits(t *testing.T) {
+	for _, kind := range []Kind{Nonlinear, RFF, Linear} {
+		stored, remat := seededPair(t, 36, 1000, kind, 99)
+		xs := seededTestRows(13, 9, 36)
+		for _, rng := range []struct{ lo, hi int }{{0, 1000}, {0, 500}, {500, 1000}, {100, 163}} {
+			width := rng.hi - rng.lo
+			mk := func() []*hdc.BitVector {
+				out := make([]*hdc.BitVector, len(xs))
+				for i := range out {
+					out[i] = hdc.NewBitVector(width)
+				}
+				return out
+			}
+			bs, br := mk(), mk()
+			if err := stored.EncodeBitsRangeBatch(xs, rng.lo, rng.hi, bs); err != nil {
+				t.Fatal(err)
+			}
+			if err := remat.EncodeBitsRangeBatch(xs, rng.lo, rng.hi, br); err != nil {
+				t.Fatal(err)
+			}
+			for i := range bs {
+				for w := range bs[i].Words {
+					if bs[i].Words[w] != br[i].Words[w] {
+						t.Fatalf("kind=%v range=[%d,%d): row %d word %d differs: stored=%x remat=%x",
+							kind, rng.lo, rng.hi, i, w, bs[i].Words[w], br[i].Words[w])
+					}
+				}
+			}
+			// Scalar kernel agrees with the blocked kernel.
+			one := hdc.NewBitVector(width)
+			if err := remat.EncodeBitsRange(xs[0], rng.lo, rng.hi, one); err != nil {
+				t.Fatal(err)
+			}
+			for w := range one.Words {
+				if one.Words[w] != br[0].Words[w] {
+					t.Fatalf("kind=%v: remat scalar bits disagree with batch at word %d", kind, w)
+				}
+			}
+		}
+	}
+}
+
+// TestProjectionMatrixOnDemand: a rematerialized encoder materializes its
+// projection rows on demand, matching the stored-matrix encoder of the
+// same seed exactly, without retaining the matrix afterwards.
+func TestProjectionMatrixOnDemand(t *testing.T) {
+	stored, remat := seededPair(t, 36, 400, Nonlinear, 7)
+	ms, mr := stored.ProjectionMatrix(), remat.ProjectionMatrix()
+	if len(ms) != 400*36 || len(mr) != len(ms) {
+		t.Fatalf("projection sizes: stored=%d remat=%d want %d", len(ms), len(mr), 400*36)
+	}
+	for i := range ms {
+		if math.Float64bits(ms[i]) != math.Float64bits(mr[i]) {
+			t.Fatalf("projection matrices differ at %d: %v vs %v", i, ms[i], mr[i])
+		}
+		if ms[i] != 1 && ms[i] != -1 {
+			t.Fatalf("seeded projection weight %d is %v, want +/-1", i, ms[i])
+		}
+	}
+	// On-demand generation must not inflate the encoder's resident state.
+	if remat.StateBytes() >= stored.StateBytes() {
+		t.Fatalf("remat state %d >= stored state %d", remat.StateBytes(), stored.StateBytes())
+	}
+	mr2 := remat.ProjectionMatrix()
+	for i := range mr {
+		if mr[i] != mr2[i] {
+			t.Fatalf("repeated materialization unstable at %d", i)
+		}
+	}
+}
+
+// TestSeededStateShrink pins the acceptance criterion that drives the
+// whole tentpole: at paper scale the rematerialized encoder's state is at
+// least 100x smaller than the stored projection.
+func TestSeededStateShrink(t *testing.T) {
+	stored, remat := seededPair(t, 36, 10000, Nonlinear, 1)
+	if ratio := float64(stored.StateBytes()) / float64(remat.StateBytes()); ratio < 100 {
+		t.Fatalf("state shrink %.1fx < 100x (stored=%d remat=%d)", ratio, stored.StateBytes(), remat.StateBytes())
+	}
+}
+
+// TestSeededSeedSensitivity: different seeds give different spaces, equal
+// seeds give equal spaces — the determinism contract checkpointing relies
+// on.
+func TestSeededSeedSensitivity(t *testing.T) {
+	a, err := NewSeeded(12, 256, Nonlinear, 5, ProjSeeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSeeded(12, 256, Nonlinear, 5, ProjSeeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewSeeded(12, 256, Nonlinear, 6, ProjSeeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := seededTestRows(3, 1, 12)[0]
+	ha, _ := a.Encode(x)
+	hb, _ := b.Encode(x)
+	hc, _ := c.Encode(x)
+	same, diff := true, true
+	for j := range ha {
+		if ha[j] != hb[j] {
+			same = false
+		}
+		if ha[j] != hc[j] {
+			diff = false
+		}
+	}
+	if !same {
+		t.Fatal("equal seeds produced different encodings")
+	}
+	if diff {
+		t.Fatal("different seeds produced identical encodings")
+	}
+}
+
+// TestNewSeededRejectsLegacyMode: the legacy stored mode is built by
+// NewWithGamma only; NewSeeded must refuse it loudly.
+func TestNewSeededRejectsLegacyMode(t *testing.T) {
+	if _, err := NewSeeded(10, 100, Nonlinear, 1, ProjStored); err == nil {
+		t.Fatal("NewSeeded accepted ProjStored")
+	}
+	if _, err := NewSeededWithGamma(10, 100, Nonlinear, -1, 1, ProjSeeded); err == nil {
+		t.Fatal("NewSeeded accepted negative gamma")
+	}
+	if _, err := ParseProjection("bogus"); err == nil {
+		t.Fatal("ParseProjection accepted bogus mode")
+	}
+	for _, tc := range []struct {
+		s    string
+		want Projection
+	}{{"", ProjStored}, {"stored", ProjStored}, {"seeded-stored", ProjSeededStored}, {"seeded", ProjSeeded}, {"remat", ProjSeeded}} {
+		got, err := ParseProjection(tc.s)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseProjection(%q) = %v, %v; want %v", tc.s, got, err, tc.want)
+		}
+	}
+}

@@ -36,6 +36,44 @@ type quantization struct {
 	mask     [][]*hdc.BitVector // [learner][class] confidence masks
 	maskOnes [][]float64        // popcount of each mask, precomputed
 	versions []uint64           // learner versions at quantization time
+
+	// planes is the scoring kernel's view of the same memory: one
+	// contiguous class-major block per learner, class c's sign words at
+	// [c*2W, c*2W+W) immediately followed by its mask words at
+	// [c*2W+W, c*2W+2W), W = words per segment. The per-class BitVectors
+	// in class/mask alias sub-slices of this block (packLearner
+	// re-anchors them), so the scrubber's ReadPlanes and the kernels
+	// observe the identical bits while the hot loop walks one flat slice
+	// with sign and mask adjacent — no pointer chasing, one stream.
+	planes [][]uint64
+}
+
+// packLearner lays learner i's sign and mask planes out in the contiguous
+// class-major block the blocked scoring kernels sweep, and re-aliases the
+// learner's BitVectors into it. Every snapshot constructor funnels
+// through this after (re)building a learner's planes; reuse paths copy
+// the previous snapshot's block pointer instead.
+func (qz *quantization) packLearner(i int) {
+	if len(qz.planes) < len(qz.class) {
+		// Snapshots built piecewise (tests, partial constructors) may not
+		// have sized the plane table yet.
+		qz.planes = append(qz.planes, make([][]uint64, len(qz.class)-len(qz.planes))...)
+	}
+	if len(qz.class[i]) == 0 {
+		qz.planes[i] = nil
+		return
+	}
+	w := len(qz.class[i][0].Words)
+	packed := make([]uint64, 2*w*len(qz.class[i]))
+	for c := range qz.class[i] {
+		sign := packed[c*2*w : c*2*w+w : c*2*w+w]
+		mask := packed[c*2*w+w : (c+1)*2*w : (c+1)*2*w]
+		copy(sign, qz.class[i][c].Words)
+		copy(mask, qz.mask[i][c].Words)
+		qz.class[i][c] = &hdc.BitVector{N: qz.class[i][c].N, Words: sign}
+		qz.mask[i][c] = &hdc.BitVector{N: qz.mask[i][c].N, Words: mask}
+	}
+	qz.planes[i] = packed
 }
 
 // BinaryModel is the packed-binary deployment form of a BoostHD ensemble:
@@ -114,6 +152,7 @@ func (qz *quantization) quantizeLearner(i int, class []hdc.Vector) {
 		qz.mask[i][c] = mask
 		qz.maskOnes[i][c] = float64(ones)
 	}
+	qz.packLearner(i)
 }
 
 // snapshot thresholds the model's current class memory. Each learner is
@@ -130,6 +169,7 @@ func snapshot(m *boosthd.Model, prev *quantization) *quantization {
 		mask:     make([][]*hdc.BitVector, len(m.Learners)),
 		maskOnes: make([][]float64, len(m.Learners)),
 		versions: make([]uint64, len(m.Learners)),
+		planes:   make([][]uint64, len(m.Learners)),
 	}
 	for i, l := range m.Learners {
 		l.ReadClass(func(class []hdc.Vector, version uint64) {
@@ -138,6 +178,7 @@ func snapshot(m *boosthd.Model, prev *quantization) *quantization {
 				qz.class[i] = prev.class[i]
 				qz.mask[i] = prev.mask[i]
 				qz.maskOnes[i] = prev.maskOnes[i]
+				qz.planes[i] = prev.planes[i]
 				return
 			}
 			qz.quantizeLearner(i, class)
@@ -227,6 +268,7 @@ func (bm *BinaryModel) Rethreshold(learners ...int) error {
 		mask:     append([][]*hdc.BitVector(nil), prev.mask...),
 		maskOnes: append([][]float64(nil), prev.maskOnes...),
 		versions: append([]uint64(nil), prev.versions...),
+		planes:   append([][]uint64(nil), prev.planes...),
 	}
 	for _, i := range learners {
 		bm.model.Learners[i].ReadClass(func(class []hdc.Vector, version uint64) {
@@ -305,6 +347,93 @@ func maskedPlaneScore(q, sign, mask, healthy []uint64) float64 {
 	return 1 - 2*float64(dis)/float64(ones)
 }
 
+// planeDistance is the single-row scoring core: popcount((q^sign)&mask)
+// over one class's words, 4-way unrolled with independent accumulators so
+// the popcount chains don't serialize on one register dependency.
+func planeDistance(q, sign, mask []uint64) int {
+	var d0, d1, d2, d3 int
+	w := 0
+	for ; w+4 <= len(q); w += 4 {
+		d0 += popcount((q[w] ^ sign[w]) & mask[w])
+		d1 += popcount((q[w+1] ^ sign[w+1]) & mask[w+1])
+		d2 += popcount((q[w+2] ^ sign[w+2]) & mask[w+2])
+		d3 += popcount((q[w+3] ^ sign[w+3]) & mask[w+3])
+	}
+	for ; w < len(q); w++ {
+		d0 += popcount((q[w] ^ sign[w]) & mask[w])
+	}
+	return d0 + d1 + d2 + d3
+}
+
+// planeDistance4 scores four query rows against one class plane in a
+// single sweep: each sign/mask word is loaded once and fed to four
+// independent XOR/AND/popcount chains. At batch scale this is what turns
+// scoring from plane-bandwidth-bound into query-bound — the class memory
+// is read len(batch)/4 times instead of len(batch) times.
+func planeDistance4(q0, q1, q2, q3, sign, mask []uint64) (d0, d1, d2, d3 int) {
+	sign = sign[:len(q0)]
+	mask = mask[:len(q0)]
+	q1, q2, q3 = q1[:len(q0)], q2[:len(q0)], q3[:len(q0)]
+	for w, s := range sign {
+		m := mask[w]
+		d0 += popcount((q0[w] ^ s) & m)
+		d1 += popcount((q1[w] ^ s) & m)
+		d2 += popcount((q2[w] ^ s) & m)
+		d3 += popcount((q3[w] ^ s) & m)
+	}
+	return
+}
+
+// scoreLearner writes learner i's per-class similarities for one query
+// row, walking the packed class-major plane block. The dimension-
+// quarantined path (healthy != nil) keeps the reference word loop —
+// correctness of the renormalization over raw speed.
+func scoreLearner(qz *quantization, i int, q []uint64, healthy []uint64, scores []float64) {
+	planes := qz.planes[i]
+	w := len(q)
+	for c, ones := range qz.maskOnes[i] {
+		base := c * 2 * w
+		sign := planes[base : base+w : base+w]
+		mask := planes[base+w : base+2*w : base+2*w]
+		if healthy != nil {
+			scores[c] = maskedPlaneScore(q, sign, mask, healthy)
+			continue
+		}
+		scores[c] = 1 - 2*float64(planeDistance(q, sign, mask))/ones
+	}
+}
+
+// aggregateLearner folds one learner's class scores into a row's
+// aggregate under the model's aggregation rule. Kept out of line so the
+// single-row and 4-row kernels share the exact accumulation order —
+// that order is part of the bit-identity contract.
+func aggregateLearner(score bool, alpha float64, scores, agg []float64) {
+	if score {
+		for c := range agg {
+			agg[c] += alpha * scores[c]
+		}
+		return
+	}
+	vote := 0
+	for c := 1; c < len(scores); c++ {
+		if scores[c] > scores[vote] {
+			vote = c
+		}
+	}
+	agg[vote] += alpha
+}
+
+// argmax returns the lowest index of the maximum aggregate.
+func argmax(agg []float64) int {
+	best := 0
+	for c := 1; c < len(agg); c++ {
+		if agg[c] > agg[best] {
+			best = c
+		}
+	}
+	return best
+}
+
 // predictBits scores a query against one snapshot.
 func (bm *BinaryModel) predictBits(qz *quantization, q []*hdc.BitVector, agg, scores []float64) int {
 	classes := bm.model.Cfg.Classes
@@ -312,7 +441,7 @@ func (bm *BinaryModel) predictBits(qz *quantization, q []*hdc.BitVector, agg, sc
 		agg[c] = 0
 	}
 	score := bm.model.Cfg.Aggregation == boosthd.Score
-	for i, cls := range qz.class {
+	for i := range qz.class {
 		if bm.model.Alphas[i] == 0 {
 			// Skip quarantined / zero-weight learners outright: their
 			// planes may be corrupted (that is why reliability masked
@@ -320,44 +449,67 @@ func (bm *BinaryModel) predictBits(qz *quantization, q []*hdc.BitVector, agg, sc
 			// aggregate a plain 0-weighted add was supposed to ignore.
 			continue
 		}
-		qi := q[i]
 		var healthy []uint64
 		if bm.dimMasks != nil {
 			healthy = bm.dimMasks[i]
 		}
-		for c, cb := range cls {
-			mb := qz.mask[i][c]
-			if healthy == nil {
-				dis := 0
-				for w, qw := range qi.Words {
-					dis += popcount((qw ^ cb.Words[w]) & mb.Words[w])
-				}
-				scores[c] = 1 - 2*float64(dis)/qz.maskOnes[i][c]
-				continue
-			}
-			scores[c] = maskedPlaneScore(qi.Words, cb.Words, mb.Words, healthy)
+		scoreLearner(qz, i, q[i].Words, healthy, scores[:classes])
+		aggregateLearner(score, bm.model.Alphas[i], scores[:classes], agg[:classes])
+	}
+	return argmax(agg[:classes])
+}
+
+// predictBits4 classifies four pre-encoded rows against one snapshot in a
+// single learner-major sweep: each learner's packed planes are walked
+// once per class and fed to the 4-row popcount kernel, so the class
+// memory is streamed once per four rows. Learners are visited in index
+// order and each row's aggregate accumulates exactly as in predictBits,
+// so predictions (and scores) are bit-identical to four single-row calls.
+// agg and scores are [4][classes] scratch; out[0:4] receives the labels.
+func (bm *BinaryModel) predictBits4(qz *quantization, q0, q1, q2, q3 []*hdc.BitVector, agg, scores [][]float64, out []int) {
+	classes := bm.model.Cfg.Classes
+	for r := 0; r < 4; r++ {
+		for c := 0; c < classes; c++ {
+			agg[r][c] = 0
 		}
-		if score {
-			for c := 0; c < classes; c++ {
-				agg[c] += bm.model.Alphas[i] * scores[c]
-			}
+	}
+	score := bm.model.Cfg.Aggregation == boosthd.Score
+	for i := range qz.class {
+		alpha := bm.model.Alphas[i]
+		if alpha == 0 {
+			continue
+		}
+		w0, w1, w2, w3 := q0[i].Words, q1[i].Words, q2[i].Words, q3[i].Words
+		var healthy []uint64
+		if bm.dimMasks != nil {
+			healthy = bm.dimMasks[i]
+		}
+		if healthy != nil {
+			scoreLearner(qz, i, w0, healthy, scores[0][:classes])
+			scoreLearner(qz, i, w1, healthy, scores[1][:classes])
+			scoreLearner(qz, i, w2, healthy, scores[2][:classes])
+			scoreLearner(qz, i, w3, healthy, scores[3][:classes])
 		} else {
-			vote := 0
-			for c := 1; c < classes; c++ {
-				if scores[c] > scores[vote] {
-					vote = c
-				}
+			planes := qz.planes[i]
+			words := len(w0)
+			for c, ones := range qz.maskOnes[i] {
+				base := c * 2 * words
+				sign := planes[base : base+words : base+words]
+				mask := planes[base+words : base+2*words : base+2*words]
+				d0, d1, d2, d3 := planeDistance4(w0, w1, w2, w3, sign, mask)
+				scores[0][c] = 1 - 2*float64(d0)/ones
+				scores[1][c] = 1 - 2*float64(d1)/ones
+				scores[2][c] = 1 - 2*float64(d2)/ones
+				scores[3][c] = 1 - 2*float64(d3)/ones
 			}
-			agg[vote] += bm.model.Alphas[i]
+		}
+		for r := 0; r < 4; r++ {
+			aggregateLearner(score, alpha, scores[r][:classes], agg[r][:classes])
 		}
 	}
-	best := 0
-	for c := 1; c < classes; c++ {
-		if agg[c] > agg[best] {
-			best = c
-		}
+	for r := 0; r < 4; r++ {
+		out[r] = argmax(agg[r][:classes])
 	}
-	return best
 }
 
 // PredictBits classifies a pre-encoded binary query: every learner scores
@@ -404,7 +556,7 @@ func (bm *BinaryModel) PredictBatch(X [][]float64) ([]int, error) {
 	workers := par.Workers(blocks)
 	type scratch struct {
 		q           [][]*hdc.BitVector // [row in block][segment]
-		agg, scores []float64
+		agg, scores [][]float64        // [4][classes] blocked-kernel scratch
 	}
 	scratches := make([]*scratch, workers)
 	err := par.ForEachWorker(blocks, func(w, blk int) error {
@@ -412,11 +564,15 @@ func (bm *BinaryModel) PredictBatch(X [][]float64) ([]int, error) {
 		if sc == nil {
 			sc = &scratch{
 				q:      make([][]*hdc.BitVector, predictBatchRows),
-				agg:    make([]float64, classes),
-				scores: make([]float64, classes),
+				agg:    make([][]float64, 4),
+				scores: make([][]float64, 4),
 			}
 			for r := range sc.q {
 				sc.q[r] = bm.NewQueryBits()
+			}
+			for r := 0; r < 4; r++ {
+				sc.agg[r] = make([]float64, classes)
+				sc.scores[r] = make([]float64, classes)
 			}
 			scratches[w] = sc
 		}
@@ -428,8 +584,13 @@ func (bm *BinaryModel) PredictBatch(X [][]float64) ([]int, error) {
 		if err := bm.model.EncodeSegmentBitsBatch(X[lo:hi], sc.q[:hi-lo]); err != nil {
 			return fmt.Errorf("infer: rows [%d,%d): %w", lo, hi, err)
 		}
-		for i := lo; i < hi; i++ {
-			out[i] = bm.predictBits(qz, sc.q[i-lo], sc.agg, sc.scores)
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			bm.predictBits4(qz, sc.q[i-lo], sc.q[i-lo+1], sc.q[i-lo+2], sc.q[i-lo+3],
+				sc.agg, sc.scores, out[i:i+4])
+		}
+		for ; i < hi; i++ {
+			out[i] = bm.predictBits(qz, sc.q[i-lo], sc.agg[0], sc.scores[0])
 		}
 		return nil
 	})
@@ -459,6 +620,7 @@ func (bm *BinaryModel) InjectWordFaults(inj *faults.Injector) int {
 		mask:     make([][]*hdc.BitVector, len(qz.mask)),
 		maskOnes: qz.maskOnes, // stored popcounts stay stale on purpose
 		versions: qz.versions,
+		planes:   make([][]uint64, len(qz.planes)),
 	}
 	flips := 0
 	for i := range qz.class {
@@ -471,6 +633,7 @@ func (bm *BinaryModel) InjectWordFaults(inj *faults.Injector) int {
 			corrupt.class[i][c] = sign
 			corrupt.mask[i][c] = mask
 		}
+		corrupt.packLearner(i)
 	}
 	bm.snap.Store(corrupt)
 	return flips
@@ -533,6 +696,7 @@ func (bm *BinaryModel) ApplyWordRepair(recount bool, fn func(learner, class int,
 		mask:     make([][]*hdc.BitVector, len(qz.mask)),
 		maskOnes: qz.maskOnes,
 		versions: qz.versions,
+		planes:   make([][]uint64, len(qz.planes)),
 	}
 	if recount {
 		next.maskOnes = make([][]float64, len(qz.maskOnes))
@@ -553,6 +717,7 @@ func (bm *BinaryModel) ApplyWordRepair(recount bool, fn func(learner, class int,
 				next.maskOnes[i][c] = float64(mask.Ones())
 			}
 		}
+		next.packLearner(i)
 	}
 	bm.snap.Store(next)
 }

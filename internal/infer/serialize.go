@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"boosthd/internal/boosthd"
+	"boosthd/internal/encoding"
 	"boosthd/internal/hdc"
 	"boosthd/internal/wire"
 )
@@ -48,7 +49,11 @@ func (bm *BinaryModel) Save(w io.Writer) error {
 		Class:   qz.class,
 		Mask:    qz.mask,
 	}
-	if err := wire.WriteHeader(w, wire.MagicBinary); err != nil {
+	version := byte(wire.Version1)
+	if m.Cfg.Projection != encoding.ProjStored {
+		version = wire.VersionSeeded
+	}
+	if err := wire.WriteHeaderVersion(w, wire.MagicBinary, version); err != nil {
 		return fmt.Errorf("infer: save binary: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(&bw); err != nil {
@@ -105,6 +110,9 @@ func LoadBinary(r io.Reader) (*BinaryModel, error) {
 	if err := wire.CheckDims(bw.Cfg.TotalDim, bw.InDim, bw.Cfg.Classes, bw.Cfg.NumLearners); err != nil {
 		return nil, fmt.Errorf("infer: load binary: %w", err)
 	}
+	if err := boosthd.CheckProjectionWire(v, bw.Cfg.Projection); err != nil {
+		return nil, fmt.Errorf("infer: load binary: %w", err)
+	}
 	shell, err := boosthd.Rehydrate(bw.Cfg, bw.InDim, bw.Gamma)
 	if err != nil {
 		return nil, fmt.Errorf("infer: load binary: %w", err)
@@ -123,6 +131,7 @@ func LoadBinary(r io.Reader) (*BinaryModel, error) {
 		mask:     bw.Mask,
 		maskOnes: make([][]float64, nl),
 		versions: make([]uint64, nl),
+		planes:   make([][]uint64, nl),
 	}
 	for i, l := range shell.Learners {
 		if bw.SegDims[i] != l.Dim {
@@ -144,6 +153,7 @@ func LoadBinary(r io.Reader) (*BinaryModel, error) {
 			qz.maskOnes[i][c] = float64(ones)
 		}
 		qz.versions[i] = l.Version()
+		qz.packLearner(i)
 	}
 	bm := &BinaryModel{model: shell, segDims: bw.SegDims, frozen: true}
 	bm.snap.Store(qz)

@@ -186,6 +186,7 @@ func Handler(s *Server) http.Handler { return NewHandler(s, HandlerConfig{}) }
 //	POST /predict       {"features":[...]}            -> {"label":n}
 //	POST /predict_batch {"rows":[[...],...]}          -> {"labels":[...]}
 //	GET  /healthz                                     -> serving + trainer + reliability stats
+//	GET  /metrics                                     -> Prometheus text exposition of the same stats
 //	GET  /reliability                                 -> reliability ledger + counters
 //	POST /swap          {"checkpoint":"name","backend":"float|binary"} -> swap report
 //	POST /observe       {"features":[...],"label":n}  -> ingestion report
@@ -206,6 +207,7 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("/predict", h.predict)
 	mux.HandleFunc("/predict_batch", h.predictBatch)
 	mux.HandleFunc("/healthz", h.healthz)
+	mux.HandleFunc("/metrics", h.metrics)
 	mux.HandleFunc("/reliability", h.reliability)
 	mux.HandleFunc("/swap", h.swap)
 	mux.HandleFunc("/observe", h.observe)

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// metrics answers GET /metrics in the Prometheus text exposition format
+// (version 0.0.4), assembled from the same snapshots the JSON endpoints
+// serve: Server.Stats, and — when configured — the trainer and
+// reliability monitor statuses. Everything is read from point-in-time
+// snapshots, so a scrape never blocks the serving or scrubbing paths.
+// Per-learner gauges carry a learner="<index>" label; everything else is
+// unlabeled. The endpoint is read-only and stays open like /healthz.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodGet) {
+		return
+	}
+	var b strings.Builder
+	st := h.s.Stats()
+
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("boosthd_requests_total", "Rows served across /predict and /predict_batch.", float64(st.Served))
+	counter("boosthd_batches_total", "Engine batch calls executed (after micro-batch coalescing).", float64(st.Batches))
+	gauge("boosthd_batch_size_mean", "Mean coalesced batch size since start.", st.MeanBatch)
+	counter("boosthd_swaps_total", "Serving engines installed (hot swaps, repairs, retrains).", float64(st.Swaps))
+	gauge("boosthd_queue_depth", "Requests currently queued in the micro-batcher.", float64(st.QueueDepth))
+	gauge("boosthd_model_version", "Generation of the installed serving engine.", float64(st.ModelVersion))
+
+	if h.cfg.Trainer != nil {
+		tst := h.cfg.Trainer.Status()
+		counter("boosthd_trainer_observed_total", "Labeled samples ingested through /observe.", float64(tst.Observed))
+		counter("boosthd_trainer_updated_total", "Samples whose online update moved class memory.", float64(tst.Updated))
+		gauge("boosthd_trainer_buffered", "Samples currently in the retrain buffer.", float64(tst.Buffered))
+		counter("boosthd_trainer_retrains_total", "Successful retrain+swap cycles.", float64(tst.Retrains))
+		counter("boosthd_trainer_retrain_failures_total", "Retrains that errored.", float64(tst.RetrainFailures))
+	}
+
+	if h.cfg.Reliability != nil {
+		rst := h.cfg.Reliability.Status()
+		degraded := 0.0
+		if rst.Degraded {
+			degraded = 1
+		}
+		gauge("boosthd_reliability_degraded", "1 while any learner is quarantined or dimension-masked.", degraded)
+		gauge("boosthd_reliability_quarantined_learners", "Learners currently whole-vote quarantined.", float64(len(rst.Quarantined)))
+		gauge("boosthd_reliability_dim_masked_learners", "Learners currently dimension-masked but still voting.", float64(len(rst.DimMasked)))
+		gauge("boosthd_reliability_masked_words", "Packed 64-bit words masked out of the ensemble vote.", float64(rst.MaskedWords))
+		counter("boosthd_reliability_scrubs_total", "Integrity scrub passes completed.", float64(rst.Scrubs))
+		counter("boosthd_reliability_detections_total", "Corruption events detected.", float64(rst.Detections))
+		counter("boosthd_reliability_quarantines_total", "Learners quarantined (cumulative).", float64(rst.Quarantines))
+		counter("boosthd_reliability_repairs_total", "Learners repaired (cumulative).", float64(rst.Repairs))
+		counter("boosthd_reliability_repair_failures_total", "Repair attempts that failed.", float64(rst.RepairFails))
+		gauge("boosthd_reliability_canary_rows", "Held-out canary rows (0 = integrity-only scrubbing).", float64(rst.CanaryRows))
+		gauge("boosthd_reliability_last_scrub_duration_seconds", "Duration of the most recent scrub pass.", rst.LastScrubMS/1e3)
+		if len(rst.Ledger) > 0 {
+			fmt.Fprintf(&b, "# HELP boosthd_learner_healthy_fraction Fraction of a learner's dimensions still voting (1 healthy, 0 quarantined).\n")
+			fmt.Fprintf(&b, "# TYPE boosthd_learner_healthy_fraction gauge\n")
+			for i, lh := range rst.Ledger {
+				fmt.Fprintf(&b, "boosthd_learner_healthy_fraction{learner=\"%d\"} %g\n", i, lh.HealthyFraction)
+			}
+			fmt.Fprintf(&b, "# HELP boosthd_learner_masked_words Packed words masked out of a learner's vote.\n")
+			fmt.Fprintf(&b, "# TYPE boosthd_learner_masked_words gauge\n")
+			for i, lh := range rst.Ledger {
+				fmt.Fprintf(&b, "boosthd_learner_masked_words{learner=\"%d\"} %d\n", i, lh.MaskedWords)
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

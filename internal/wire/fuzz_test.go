@@ -3,9 +3,11 @@ package wire_test
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"boosthd/internal/boosthd"
+	"boosthd/internal/encoding"
 	"boosthd/internal/hdc"
 	"boosthd/internal/infer"
 	"boosthd/internal/onlinehd"
@@ -43,6 +45,28 @@ func seedBlobs(t testing.TB) [][]byte {
 		t.Fatal(err)
 	}
 
+	// Seeded-projection variants of the ensemble and binary formats:
+	// framed at the newer VersionSeeded header, so the fuzzer mutates
+	// that framing (and its version/projection cross-check) too.
+	scfg := cfg
+	scfg.Projection = encoding.ProjSeeded
+	sm, err := boosthd.Train(X, y, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sens bytes.Buffer
+	if err := sm.Save(&sens); err != nil {
+		t.Fatal(err)
+	}
+	sbm, err := infer.Quantize(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sbin bytes.Buffer
+	if err := sbm.Save(&sbin); err != nil {
+		t.Fatal(err)
+	}
+
 	ocfg := onlinehd.DefaultConfig(64, classes)
 	ocfg.Epochs = 1
 	om, err := onlinehd.Train(X, y, nil, ocfg)
@@ -62,7 +86,7 @@ func seedBlobs(t testing.TB) [][]byte {
 	if err := bm.Save(&bin); err != nil {
 		t.Fatal(err)
 	}
-	return [][]byte{ens.Bytes(), one.Bytes(), bin.Bytes()}
+	return [][]byte{ens.Bytes(), one.Bytes(), bin.Bytes(), sens.Bytes(), sbin.Bytes()}
 }
 
 // FuzzLoadCheckpoint feeds arbitrary (seeded with truncated and
@@ -121,6 +145,133 @@ func sanityCheckEnsemble(t *testing.T, m *boosthd.Model) {
 	}
 }
 
+// TestSeededCheckpointRoundTrip: checkpoints whose config uses the
+// rematerialized projection must round-trip through both the float
+// ensemble and binary snapshot formats — framed at VersionSeeded — and
+// the loaded models must predict identically to the originals (the
+// encoder rebuilds from seed + config alone).
+func TestSeededCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n, features, classes = 80, 6, 2
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, features)
+		c := i % classes
+		for j := range row {
+			row[j] = rng.NormFloat64() + 1.5*float64(c)
+		}
+		X[i] = row
+		y[i] = c
+	}
+	cfg := boosthd.DefaultConfig(128, 4, classes)
+	cfg.Epochs = 2
+	cfg.Projection = encoding.ProjSeeded
+	m, err := boosthd.Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ens bytes.Buffer
+	if err := m.Save(&ens); err != nil {
+		t.Fatal(err)
+	}
+	if v := ens.Bytes()[len(wire.MagicEnsemble)]; v != wire.VersionSeeded {
+		t.Fatalf("seeded ensemble framed at version %d, want %d", v, wire.VersionSeeded)
+	}
+	lm, err := boosthd.Load(bytes.NewReader(ens.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Cfg.Projection != encoding.ProjSeeded {
+		t.Fatalf("loaded projection %v, want seeded", lm.Cfg.Projection)
+	}
+	got, err := lm.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: loaded seeded ensemble predicts %d, original %d", i, got[i], want[i])
+		}
+	}
+
+	bm, err := infer.Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBin, err := bm.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := bm.Save(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if v := bin.Bytes()[len(wire.MagicBinary)]; v != wire.VersionSeeded {
+		t.Fatalf("seeded binary snapshot framed at version %d, want %d", v, wire.VersionSeeded)
+	}
+	lbm, err := infer.LoadBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBin, err := lbm.PredictBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantBin {
+		if gotBin[i] != wantBin[i] {
+			t.Fatalf("row %d: cold-loaded seeded binary predicts %d, original %d", i, gotBin[i], wantBin[i])
+		}
+	}
+}
+
+// TestSeededFrameRejection: a seeded-projection payload travelling under
+// a version-1 header violates the framing contract (an old build's gob
+// decode would silently drop the field and rebuild the wrong encoder) —
+// both loaders must reject it loudly instead of trusting it.
+func TestSeededFrameRejection(t *testing.T) {
+	blobs := seedBlobs(t)
+	for _, tc := range []struct {
+		name string
+		blob []byte
+		load func([]byte) error
+	}{
+		{"ensemble", blobs[3], func(b []byte) error { _, err := boosthd.Load(bytes.NewReader(b)); return err }},
+		{"binary", blobs[4], func(b []byte) error { _, err := infer.LoadBinary(bytes.NewReader(b)); return err }},
+	} {
+		mut := append([]byte(nil), tc.blob...)
+		if mut[4] != wire.VersionSeeded {
+			t.Fatalf("%s: seeded blob header version %d, want %d", tc.name, mut[4], wire.VersionSeeded)
+		}
+		mut[4] = wire.Version1
+		err := tc.load(mut)
+		if err == nil {
+			t.Fatalf("%s: v1-framed seeded checkpoint accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), "framed at header version") {
+			t.Fatalf("%s: rejection %q does not name the framing violation", tc.name, err)
+		}
+	}
+
+	// An unknown (future) projection mode must be rejected by the
+	// cross-check even when the frame version is current.
+	if err := boosthd.CheckProjectionWire(wire.Version, encoding.ProjSeeded+1); err == nil ||
+		!strings.Contains(err.Error(), "newer build") {
+		t.Fatalf("future projection mode: %v", err)
+	}
+	if err := boosthd.CheckProjectionWire(wire.Version, encoding.ProjSeeded); err != nil {
+		t.Fatalf("current seeded mode rejected: %v", err)
+	}
+	if err := boosthd.CheckProjectionWire(wire.Version1, encoding.ProjStored); err != nil {
+		t.Fatalf("legacy stored mode rejected: %v", err)
+	}
+}
+
 // TestCheckDims pins the sanity bounds the loaders enforce.
 func TestCheckDims(t *testing.T) {
 	if err := wire.CheckDims(10000, 60, 3, 10); err != nil {
@@ -151,7 +302,8 @@ func TestCheckDims(t *testing.T) {
 // plain `go test` (no fuzzing) still covers the checkpoint boundary.
 func TestLoadersRejectCorruptBlobs(t *testing.T) {
 	blobs := seedBlobs(t)
-	names := []string{"ensemble", "onlinehd", "binary"}
+	names := []string{"ensemble", "onlinehd", "binary", "seeded-ensemble", "seeded-binary"}
+	loaderOf := []int{0, 1, 2, 0, 2} // which loader owns each blob
 	load := func(data []byte) (okEns, okOne, okBin bool) {
 		_, e1 := boosthd.Load(bytes.NewReader(data))
 		_, e2 := onlinehd.Load(bytes.NewReader(data))
@@ -160,7 +312,7 @@ func TestLoadersRejectCorruptBlobs(t *testing.T) {
 	}
 	for k, blob := range blobs {
 		okE, okO, okB := load(blob)
-		if ok := []bool{okE, okO, okB}[k]; !ok {
+		if ok := []bool{okE, okO, okB}[loaderOf[k]]; !ok {
 			t.Fatalf("valid %s blob rejected", names[k])
 		}
 		// The two foreign loaders must reject it (type confusion).

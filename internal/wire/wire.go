@@ -33,20 +33,44 @@ const (
 // legacy gob blob.
 const prefix = "BHD"
 
-// Version is the current header version written by WriteHeader. Version
-// 0 is reserved for legacy headerless blobs.
-const Version = 1
+// Header versions. Version 0 is reserved for legacy headerless blobs.
+const (
+	// Version1 is the original framed format: stored-matrix encoder
+	// configurations only.
+	Version1 = 1
+	// VersionSeeded adds the seeded-encoder projection mode to the
+	// configuration payload. gob silently drops fields it does not know,
+	// so a pre-seeded build fed a seeded checkpoint at version 1 would
+	// decode it into a legacy stored-matrix encoder and serve garbage —
+	// seeded checkpoints are framed at this version precisely so such
+	// builds reject them with a loud "newer build?" error instead.
+	VersionSeeded = 2
+	// Version is the newest header version this build understands.
+	Version = VersionSeeded
+)
 
 // headerLen is magic (4 bytes) plus the version byte.
 const headerLen = 5
 
 // WriteHeader emits the framing header for a checkpoint of the given
-// magic at the current version.
+// magic at Version1 — the compatible framing for payloads that use no
+// newer-version features. Savers whose payload requires a newer revision
+// (seeded-encoder configs) use WriteHeaderVersion.
 func WriteHeader(w io.Writer, magic string) error {
+	return WriteHeaderVersion(w, magic, Version1)
+}
+
+// WriteHeaderVersion emits the framing header at an explicit version.
+// Writing the lowest version whose feature set the payload needs keeps
+// old builds able to read every checkpoint they can represent.
+func WriteHeaderVersion(w io.Writer, magic string, version byte) error {
 	if len(magic) != 4 || magic[:3] != prefix {
 		return fmt.Errorf("wire: invalid magic %q", magic)
 	}
-	if _, err := w.Write(append([]byte(magic), Version)); err != nil {
+	if version == 0 || version > Version {
+		return fmt.Errorf("wire: cannot write header version %d (supported 1..%d)", version, Version)
+	}
+	if _, err := w.Write(append([]byte(magic), version)); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
 	}
 	return nil

@@ -17,12 +17,26 @@ func TestHeaderRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != Version {
-		t.Fatalf("version %d, want %d", v, Version)
+	if v != Version1 {
+		t.Fatalf("version %d, want %d (WriteHeader frames at the compatible base version)", v, Version1)
 	}
 	rest, _ := io.ReadAll(body)
 	if string(rest) != "payload" {
 		t.Fatalf("payload %q after header", rest)
+	}
+
+	buf.Reset()
+	if err := WriteHeaderVersion(&buf, MagicEnsemble, VersionSeeded); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err = ReadHeader(&buf, MagicEnsemble); err != nil || v != VersionSeeded {
+		t.Fatalf("seeded-version round trip: v=%d err=%v", v, err)
+	}
+	if err := WriteHeaderVersion(&buf, MagicEnsemble, Version+1); err == nil {
+		t.Fatal("WriteHeaderVersion accepted an unsupported future version")
+	}
+	if err := WriteHeaderVersion(&buf, MagicEnsemble, 0); err == nil {
+		t.Fatal("WriteHeaderVersion accepted the reserved legacy version 0")
 	}
 }
 
