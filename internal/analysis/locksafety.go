@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// LockSafety enforces the accessor discipline around //hd:guarded fields:
+// the class-vector memory of HVClassifier and the packed plane memory of
+// the binary backend are read and written under locks (or via immutable
+// snapshots) by a small accessor set that lives in the declaring file.
+// Any direct selector access from another file bypasses that discipline —
+// the exact shape of the PR 1 class-vector race — and is flagged.
+//
+// Keyed composite literals (quantization{class: ...}) are deliberately
+// allowed: they build fresh values, they cannot tear live memory.
+var LockSafety = &Analyzer{
+	Name:      "locksafety",
+	Doc:       "guarded fields may be accessed directly only from their declaring file",
+	Run:       runLockSafety,
+	SkipTests: true,
+}
+
+func runLockSafety(pass *Pass) []Finding {
+	var out []Finding
+	for _, file := range pass.Pkg.Files {
+		fname := pass.position(file.Pos()).Filename
+		ast.Inspect(file, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel := pass.Pkg.Info.Selections[se]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			gi, ok := pass.Markers.Guarded[v]
+			if !ok || fname == gi.DeclFile {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "locksafety",
+				Pos:      pass.position(se.Sel.Pos()),
+				Message: fmt.Sprintf("direct access to guarded field %s.%s outside its declaring file; use the accessor API",
+					gi.StructName, gi.FieldName),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The marker vocabulary. Markers are machine-readable comments in the
+// style of //go:noinline: the marker must be the whole comment or be
+// followed by explanatory text after a space.
+//
+//	//hd:guarded   (struct field)  direct access only in the declaring file
+//	//hd:version   (struct field)  the mutation counter guarded writes must bump
+//	//hd:hotpath   (func)          must be syntactically allocation-free
+//	//hd:mutator   (func)          writes guarded memory, version bump is the
+//	                               caller's obligation (calls count as writes)
+//	//hd:mutates   (method)        mutates its receiver in place (a call on a
+//	                               guarded-rooted value counts as a write)
+const (
+	markGuarded = "hd:guarded"
+	markVersion = "hd:version"
+	markHotpath = "hd:hotpath"
+	markMutator = "hd:mutator"
+	markMutates = "hd:mutates"
+
+	ignorePrefix = "hdlint:ignore"
+)
+
+// GuardInfo describes one //hd:guarded field.
+type GuardInfo struct {
+	StructName string
+	FieldName  string
+	DeclFile   string
+}
+
+// Markers is the program-wide table of annotations the analyzers consume.
+type Markers struct {
+	Guarded   map[*types.Var]GuardInfo
+	VersionOf map[*types.Var]*types.Var // guarded field -> its struct's version counter (nil if none)
+	Version   map[*types.Var]bool       // //hd:version fields
+	Hotpath   map[*types.Func]bool
+	Mutator   map[*types.Func]bool
+	Mutates   map[*types.Func]bool
+
+	// BumpMethod holds every method whose body increments a version field
+	// of its own receiver: calling one of these counts as bumping the
+	// counter (Invalidate, MutateClass, SetClass, ...).
+	BumpMethod map[*types.Func]bool
+
+	ignores   map[string]map[int][]string // filename -> line -> analyzer names
+	malformed map[string][]Finding        // filename -> findings for bad directives
+}
+
+// CollectMarkers scans every package of the program for annotations and
+// ignore directives.
+func CollectMarkers(prog *Program) *Markers {
+	mk := &Markers{
+		Guarded:    map[*types.Var]GuardInfo{},
+		VersionOf:  map[*types.Var]*types.Var{},
+		Version:    map[*types.Var]bool{},
+		Hotpath:    map[*types.Func]bool{},
+		Mutator:    map[*types.Func]bool{},
+		Mutates:    map[*types.Func]bool{},
+		BumpMethod: map[*types.Func]bool{},
+		ignores:    map[string]map[int][]string{},
+		malformed:  map[string][]Finding{},
+	}
+	for _, p := range prog.Packages {
+		for _, file := range p.Files {
+			mk.collectFile(prog, p, file)
+		}
+	}
+	// Second pass: BumpMethod needs the complete set of version fields.
+	for _, p := range prog.Packages {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				recv := receiverVar(p.Info, fd)
+				if recv == nil {
+					continue
+				}
+				if mk.bodyBumpsVersion(p.Info, fd.Body, recv) {
+					mk.BumpMethod[fn] = true
+				}
+			}
+		}
+	}
+	return mk
+}
+
+func (mk *Markers) collectFile(prog *Program, p *Package, file *ast.File) {
+	fname := prog.Fset.Position(file.Pos()).Filename
+
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue
+			}
+			rest, ok := strings.CutPrefix(text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			pos := prog.Fset.Position(c.Slash)
+			parts := strings.Fields(rest)
+			if len(parts) < 2 || !knownAnalyzer(parts[0]) {
+				mk.malformed[fname] = append(mk.malformed[fname], Finding{
+					Analyzer: "hdlint",
+					Pos:      pos,
+					Message: fmt.Sprintf("malformed ignore directive %q: want //hdlint:ignore <analyzer> <reason>",
+						strings.TrimSpace(c.Text)),
+				})
+				continue
+			}
+			if mk.ignores[fname] == nil {
+				mk.ignores[fname] = map[int][]string{}
+			}
+			mk.ignores[fname][pos.Line] = append(mk.ignores[fname][pos.Line], parts[0])
+		}
+	}
+
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			fn, _ := p.Info.Defs[d.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if hasMarker(d.Doc, markHotpath) {
+				mk.Hotpath[fn] = true
+			}
+			if hasMarker(d.Doc, markMutator) {
+				mk.Mutator[fn] = true
+			}
+			if hasMarker(d.Doc, markMutates) {
+				mk.Mutates[fn] = true
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				mk.collectStruct(p, fname, ts.Name.Name, st)
+			}
+		}
+	}
+}
+
+func (mk *Markers) collectStruct(p *Package, fname, structName string, st *ast.StructType) {
+	var guarded []*types.Var
+	var version *types.Var
+	for _, field := range st.Fields.List {
+		g := hasMarker(field.Doc, markGuarded) || hasMarker(field.Comment, markGuarded)
+		v := hasMarker(field.Doc, markVersion) || hasMarker(field.Comment, markVersion)
+		if !g && !v {
+			continue
+		}
+		for _, name := range field.Names {
+			obj, _ := p.Info.Defs[name].(*types.Var)
+			if obj == nil {
+				continue
+			}
+			if g {
+				mk.Guarded[obj] = GuardInfo{StructName: structName, FieldName: name.Name, DeclFile: fname}
+				guarded = append(guarded, obj)
+			}
+			if v {
+				mk.Version[obj] = true
+				version = obj
+			}
+		}
+	}
+	for _, g := range guarded {
+		mk.VersionOf[g] = version
+	}
+}
+
+// bodyBumpsVersion reports whether body increments or assigns a
+// //hd:version field reachable from recv.
+func (mk *Markers) bodyBumpsVersion(info *types.Info, body *ast.BlockStmt, recv *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		var lhs []ast.Expr
+		switch s := n.(type) {
+		case *ast.IncDecStmt:
+			lhs = []ast.Expr{s.X}
+		case *ast.AssignStmt:
+			lhs = s.Lhs
+		default:
+			return true
+		}
+		for _, e := range lhs {
+			root, fields := chainInfo(info, e)
+			if rootVar(info, root) != recv {
+				continue
+			}
+			for _, f := range fields {
+				if mk.Version[f] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// suppressed reports whether a finding is covered by an ignore directive
+// on its line or the line above.
+func (mk *Markers) suppressed(f Finding) bool {
+	lines := mk.ignores[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == f.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func knownAnalyzer(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		t, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue
+		}
+		if t == marker || strings.HasPrefix(t, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverVar returns the declared receiver variable of a method, nil for
+// unnamed or blank receivers.
+func receiverVar(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	name := fd.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	v, _ := info.Defs[name].(*types.Var)
+	return v
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotAlias catches the PR 2 torn-checkpoint class: an exported method
+// that hands out its receiver's []float64/[]uint64 backing memory gives
+// the caller an unsynchronized alias into live model state — a later
+// in-place mutation tears whatever the caller thought was a snapshot.
+//
+// The check is a forward taint pass per exported method: expressions
+// rooted at the receiver that select at least one field are "internal
+// memory"; assignments propagate taint through locals (including element
+// writes like out[i] = l.Class and range-bindings over internal slices);
+// any function call launders its result (Clone, append-copy and make+copy
+// idioms all pass). Returning a tainted value whose type contains a
+// numeric backing slice is a finding. A receiver that *is* a slice
+// (hdc.Vector.Slice) is exempt: returning a subslice of yourself is the
+// documented contract of a view type, not an accidental leak.
+var SnapshotAlias = &Analyzer{
+	Name:      "snapshotalias",
+	Doc:       "exported methods must not return internal numeric backing slices without a copy",
+	Run:       runSnapshotAlias,
+	SkipTests: true,
+}
+
+func runSnapshotAlias(pass *Pass) []Finding {
+	var out []Finding
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverVar(info, fd)
+			if recv == nil {
+				continue
+			}
+			out = append(out, checkMethodAlias(pass, fd, recv)...)
+		}
+	}
+	return out
+}
+
+func checkMethodAlias(pass *Pass, fd *ast.FuncDecl, recv *types.Var) []Finding {
+	info := pass.Pkg.Info
+	tainted := map[*types.Var]bool{}
+
+	// internal reports whether e aliases receiver-owned memory: rooted at
+	// the receiver through at least one field selection, or rooted at a
+	// variable already known to alias it.
+	internal := func(e ast.Expr) bool {
+		root, fields := chainInfo(info, e)
+		rv := rootVar(info, root)
+		if rv == nil {
+			return false
+		}
+		if rv == recv {
+			return len(fields) > 0
+		}
+		return tainted[rv]
+	}
+
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				if !internal(rhs) {
+					continue
+				}
+				if rv := chainRoot(info, x.Lhs[i]); rv != nil && rv != recv {
+					tainted[rv] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if internal(x.X) && x.Value != nil {
+				if id, ok := x.Value.(*ast.Ident); ok {
+					if v := rootVar(info, id); v != nil {
+						tainted[v] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if !internal(res) {
+					continue
+				}
+				t := info.TypeOf(res)
+				if !containsNumSlice(t) {
+					continue
+				}
+				out = append(out, Finding{
+					Analyzer: "snapshotalias",
+					Pos:      pass.position(res.Pos()),
+					Message: fmt.Sprintf("%s returns internal backing memory (%s) without a copy; callers get an unsynchronized alias into live state",
+						fd.Name.Name, types.TypeString(t, types.RelativeTo(pass.Pkg.Pkg))),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,18 @@
+// Package clean holds no hotalloc violations: the hot kernel is
+// allocation-free, and the allocating helper is unmarked.
+package clean
+
+// Dot is marked hot and sticks to arithmetic over existing memory.
+// Fixed-size array locals are stack storage, not heap allocation.
+//
+//hd:hotpath
+func Dot(a, b []float64) float64 {
+	var acc [4]float64
+	for i, x := range a {
+		acc[i&3] += x * b[i]
+	}
+	return acc[0] + acc[1] + acc[2] + acc[3]
+}
+
+// NewBuffer allocates freely: it carries no //hd:hotpath marker.
+func NewBuffer(n int) []float64 { return make([]float64, n) }

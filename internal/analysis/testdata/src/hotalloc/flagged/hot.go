@@ -1,0 +1,22 @@
+// Package flagged seeds hotalloc violations inside a //hd:hotpath
+// function: builtin allocation, literals, closures, fmt, and string
+// concatenation.
+package flagged
+
+import "fmt"
+
+// Score is marked hot but allocates in several ways.
+//
+//hd:hotpath
+func Score(xs []float64) float64 {
+	buf := make([]float64, 4)         // want "calls make"
+	buf = append(buf, 1)              // want "calls append"
+	m := map[int]float64{1: 2}        // want "map literal"
+	sl := []int{1, 2}                 // want "slice literal"
+	f := func() float64 { return 1 }  // want "declares a closure"
+	fmt.Println(len(buf), len(sl), m) // want "calls fmt.Println"
+	s := "a" + "b"                    // want "concatenates strings"
+	s += "c"                          // want "concatenates strings"
+	_ = s
+	return xs[0] + f()
+}

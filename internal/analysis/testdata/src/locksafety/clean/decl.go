@@ -1,0 +1,17 @@
+// Package clean holds no locksafety violations: outside files go through
+// the accessor API, and the one direct access carries a reasoned ignore.
+package clean
+
+type Store struct {
+	//hd:guarded direct access only in this file; use Read
+	data []float64
+}
+
+// Read is the accessor API.
+func (s *Store) Read(i int) float64 { return s.data[i] }
+
+// Len reports the store size through the accessor layer.
+func (s *Store) Len() int { return len(s.data) }
+
+// NewStore constructs a store.
+func NewStore(n int) *Store { return &Store{data: make([]float64, n)} }

@@ -1,0 +1,16 @@
+package clean
+
+// Sum uses the accessor API only.
+func Sum(s *Store) float64 {
+	var t float64
+	for i := 0; i < s.Len(); i++ {
+		t += s.Read(i)
+	}
+	return t
+}
+
+// First demonstrates a reasoned suppression of a direct access.
+func First(s *Store) float64 {
+	//hdlint:ignore locksafety store is freshly built and unshared in this test fixture
+	return s.data[0]
+}

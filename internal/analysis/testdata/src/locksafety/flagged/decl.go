@@ -1,0 +1,14 @@
+// Package flagged seeds locksafety violations: the guarded field is
+// declared (and legally used) here, then accessed directly from other.go.
+package flagged
+
+type Store struct {
+	//hd:guarded direct access only in this file; use Read
+	data []float64
+}
+
+// Read is the accessor API; same-file access is allowed.
+func (s *Store) Read(i int) float64 { return s.data[i] }
+
+// NewStore constructs a store; same-file access is allowed.
+func NewStore(n int) *Store { return &Store{data: make([]float64, n)} }

@@ -1,0 +1,15 @@
+package flagged
+
+// Sum reads the guarded field from outside its declaring file.
+func Sum(s *Store) float64 {
+	var t float64
+	for _, v := range s.data { // want "direct access to guarded field Store.data"
+		t += v
+	}
+	return t
+}
+
+// Reset writes the guarded field from outside its declaring file.
+func Reset(s *Store) {
+	s.data = nil // want "direct access to guarded field Store.data"
+}

@@ -1,0 +1,25 @@
+// Package clean holds no snapshotalias violations: returns copy the
+// memory, return fresh locals, or carry a reasoned ignore.
+package clean
+
+type Cache struct {
+	norms []float64
+}
+
+// Norms returns a copy of the backing slice.
+func (c *Cache) Norms() []float64 {
+	out := make([]float64, len(c.norms))
+	copy(out, c.norms)
+	return out
+}
+
+// Zeros returns a fresh local, never internal memory.
+func (c *Cache) Zeros(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Raw shares the backing slice deliberately, with a reasoned ignore.
+func (c *Cache) Raw() []float64 {
+	//hdlint:ignore snapshotalias callers mutate the cache in place by contract
+	return c.norms
+}

@@ -1,0 +1,19 @@
+// Package flagged seeds snapshotalias violations: exported methods
+// returning internal numeric backing memory without a copy.
+package flagged
+
+type Cache struct {
+	norms []float64
+	words []uint64
+}
+
+// Norms returns the live backing slice.
+func (c *Cache) Norms() []float64 {
+	return c.norms // want "Norms returns internal backing memory"
+}
+
+// Words leaks the slice through a local alias.
+func (c *Cache) Words() []uint64 {
+	w := c.words
+	return w // want "Words returns internal backing memory"
+}

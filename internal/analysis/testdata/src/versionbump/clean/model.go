@@ -1,0 +1,50 @@
+// Package clean holds no versionbump violations: every write path bumps
+// the counter, delegates to a bumping method, is a constructor over a
+// freshly built value, or is explicitly marked //hd:mutator.
+package clean
+
+type Classifier struct {
+	//hd:guarded class memory
+	class []float64
+
+	//hd:version bumped on every class mutation
+	version uint64
+}
+
+// Invalidate bumps the counter by hand.
+func (c *Classifier) Invalidate() { c.version++ }
+
+// Zero writes the class memory and bumps on the same path.
+func (c *Classifier) Zero() {
+	for i := range c.class {
+		c.class[i] = 0
+	}
+	c.version++
+}
+
+// Reseed replaces the class memory and delegates the bump.
+func (c *Classifier) Reseed(w []float64) {
+	c.class = w
+	c.Invalidate()
+}
+
+// New builds a classifier; writes to a freshly built local are exempt.
+func New(n int) *Classifier {
+	c := &Classifier{class: make([]float64, n)}
+	c.class[0] = 1
+	return c
+}
+
+// scatter is marked //hd:mutator: it writes the class memory, and the
+// version bump is the caller's obligation.
+//
+//hd:mutator
+func (c *Classifier) scatter() {
+	c.class[0] = 42
+}
+
+// Jitter calls the mutator and bumps on the same path.
+func (c *Classifier) Jitter() {
+	c.scatter()
+	c.version++
+}

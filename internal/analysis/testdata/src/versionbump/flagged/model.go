@@ -1,0 +1,38 @@
+// Package flagged seeds versionbump violations: methods that write the
+// guarded class memory without bumping the version counter on the same
+// path.
+package flagged
+
+type Classifier struct {
+	//hd:guarded class memory
+	class []float64
+
+	//hd:version bumped on every class mutation
+	version uint64
+}
+
+// Zero writes the class memory and forgets the bump.
+func (c *Classifier) Zero() {
+	for i := range c.class {
+		c.class[i] = 0 // want "Zero writes Classifier.class without bumping the version counter"
+	}
+}
+
+// Reseed replaces the class memory and forgets the bump.
+func (c *Classifier) Reseed(w []float64) {
+	c.class = w // want "Reseed writes Classifier.class without bumping the version counter"
+}
+
+// half is marked //hd:mutator: the bump is the caller's obligation.
+//
+//hd:mutator
+func (c *Classifier) half() {
+	for i := range c.class {
+		c.class[i] *= 0.5
+	}
+}
+
+// Decay calls the mutator and forgets the bump.
+func (c *Classifier) Decay() {
+	c.half() // want "Decay writes class memory via mutator half without bumping the version counter"
+}

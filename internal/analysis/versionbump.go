@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// VersionBump ties class-memory writes to the norm-cache version counter —
+// the exact PR 1 bug class, where a mutation path that forgot to bump the
+// counter left cosine scoring running against stale norms. A "write" is:
+//
+//   - an assignment or ++/-- through a //hd:guarded field,
+//   - copy() into guarded memory,
+//   - a call to an //hd:mutates method (BundleScaled) on a guarded-rooted
+//     value,
+//   - a call to an //hd:mutator method, which declares "I write but the
+//     bump is my caller's job".
+//
+// A function containing such a write must, somewhere in its body (deferred
+// closures included — Fit bumps on the way out of its defer), either
+// increment the struct's //hd:version field or call a method that does
+// (Invalidate, MutateClass, SetClass, ...), rooted at the same variable.
+// Exemptions: the function is itself marked //hd:mutator, or the variable
+// was born locally from a composite literal (constructors and Clone build
+// fresh private memory; nobody can be reading it yet).
+//
+// The check is per-function and flow-insensitive: "on the same path" is
+// approximated by "in the same function body", which is exactly the
+// granularity the real accessors use.
+var VersionBump = &Analyzer{
+	Name:      "versionbump",
+	Doc:       "functions writing guarded class memory must bump the //hd:version counter",
+	Run:       runVersionBump,
+	SkipTests: true,
+}
+
+func runVersionBump(pass *Pass) []Finding {
+	var out []Finding
+	info := pass.Pkg.Info
+	mk := pass.Markers
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil || mk.Mutator[fn] {
+				continue
+			}
+			out = append(out, checkFuncVersionBump(pass, fd)...)
+		}
+	}
+	return out
+}
+
+func checkFuncVersionBump(pass *Pass, fd *ast.FuncDecl) []Finding {
+	info := pass.Pkg.Info
+	mk := pass.Markers
+
+	type write struct {
+		pos  token.Pos
+		desc string
+	}
+	writes := map[*types.Var][]write{}
+	bumps := map[*types.Var]bool{}
+	localBorn := map[*types.Var]bool{}
+
+	// recordLHS classifies one assignment target (or copy destination):
+	// a chain through a guarded field is a write; a chain through a
+	// version field is a bump.
+	recordLHS := func(e ast.Expr, pos token.Pos) {
+		root, fields := chainInfo(info, e)
+		rv := rootVar(info, root)
+		for _, f := range fields {
+			if gi, ok := mk.Guarded[f]; ok && mk.VersionOf[f] != nil {
+				writes[rv] = append(writes[rv], write{pos, fmt.Sprintf("%s.%s", gi.StructName, gi.FieldName)})
+			}
+			if mk.Version[f] && rv != nil {
+				bumps[rv] = true
+			}
+		}
+	}
+
+	guardedChain := func(e ast.Expr) (*types.Var, string, bool) {
+		root, fields := chainInfo(info, e)
+		rv := rootVar(info, root)
+		for _, f := range fields {
+			if gi, ok := mk.Guarded[f]; ok && mk.VersionOf[f] != nil {
+				return rv, fmt.Sprintf("%s.%s", gi.StructName, gi.FieldName), true
+			}
+		}
+		return rv, "", false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				recordLHS(lhs, lhs.Pos())
+			}
+			// A variable initialized from a composite literal of a
+			// guarded struct is private until published: its writes need
+			// no bump (constructor / Clone pattern).
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, rhs := range x.Rhs {
+					if !isGuardedStructLiteral(info, mk, rhs) {
+						continue
+					}
+					if id, ok := x.Lhs[i].(*ast.Ident); ok {
+						if v := rootVar(info, id); v != nil {
+							localBorn[v] = true
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			recordLHS(x.X, x.Pos())
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "copy" && len(x.Args) == 2 {
+					recordLHS(x.Args[0], x.Pos())
+					return true
+				}
+			}
+			callee := funcObj(info, x)
+			if callee == nil {
+				return true
+			}
+			se, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case mk.Mutates[callee]:
+				if rv, field, ok := guardedChain(se.X); ok {
+					writes[rv] = append(writes[rv], write{x.Pos(),
+						fmt.Sprintf("%s via %s", field, callee.Name())})
+				}
+			case mk.Mutator[callee]:
+				rv := chainRoot(info, se.X)
+				writes[rv] = append(writes[rv], write{x.Pos(),
+					fmt.Sprintf("class memory via mutator %s", callee.Name())})
+			case mk.BumpMethod[callee]:
+				if rv := chainRoot(info, se.X); rv != nil {
+					bumps[rv] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	for rv, ws := range writes {
+		if rv != nil && (localBorn[rv] || bumps[rv]) {
+			continue
+		}
+		// One finding per root keeps a multi-write mutation path to one
+		// actionable report.
+		w := ws[0]
+		out = append(out, Finding{
+			Analyzer: "versionbump",
+			Pos:      pass.position(w.pos),
+			Message: fmt.Sprintf("%s writes %s without bumping the version counter on the same path",
+				fd.Name.Name, w.desc),
+		})
+	}
+	return out
+}
+
+func chainRoot(info *types.Info, e ast.Expr) *types.Var {
+	root, _ := chainInfo(info, e)
+	return rootVar(info, root)
+}
+
+// isGuardedStructLiteral reports whether e is T{...} or &T{...} for a
+// struct type with a version-tracked guarded field.
+func isGuardedStructLiteral(info *types.Info, mk *Markers, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ue.X
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	st, ok := info.TypeOf(cl).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if _, ok := mk.Guarded[f]; ok && mk.VersionOf[f] != nil {
+			return true
+		}
+	}
+	return false
+}

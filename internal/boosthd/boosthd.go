@@ -251,6 +251,7 @@ func (m *Model) pinLearners() (norms [][]float64, unpin func()) {
 			// full-width norms do not apply. The class vectors are pinned
 			// for the whole batch, so the masked norms computed here stay
 			// coherent with every row the batch scores.
+			//hdlint:ignore locksafety read under the learner's pin taken on the line above
 			norms[i] = maskedClassNorms(l.Class, dm)
 		}
 	}
@@ -262,6 +263,8 @@ func (m *Model) pinLearners() (norms [][]float64, unpin func()) {
 }
 
 // maskedBit reports whether dimension k is trusted under healthy.
+//
+//hd:hotpath
 func maskedBit(healthy []uint64, k int) bool {
 	return healthy[k>>6]&(1<<uint(k&63)) != 0
 }
@@ -306,6 +309,8 @@ func (m *Model) newInferScratch() *inferScratch {
 // datasets) hoist the class slices into independent accumulator chains;
 // all variants accumulate in index order, so the scores are bit-identical
 // to separate hdc.Dot / hdc.Norm calls.
+//
+//hd:hotpath
 func segmentDots(hseg hdc.Vector, class []hdc.Vector, dots []float64) (hn2 float64) {
 	n := len(hseg)
 	switch len(class) {
@@ -349,6 +354,8 @@ func segmentDots(hseg hdc.Vector, class []hdc.Vector, dots []float64) (hn2 float
 // multiply-add sequence as segmentDots over a literally zeroed class
 // vector, so the scores are bit-identical to a clean model with those
 // components zeroed at the same positions.
+//
+//hd:hotpath
 func segmentDotsMasked(hseg hdc.Vector, class []hdc.Vector, dots []float64, healthy []uint64) (hn2 float64) {
 	n := len(hseg)
 	switch len(class) {
@@ -405,6 +412,8 @@ func segmentDotsMasked(hseg hdc.Vector, class []hdc.Vector, dots []float64, heal
 // the learner's cosine scores (or its vote) into the alpha-weighted
 // aggregate. Arithmetic order matches the historical slice-per-learner
 // path exactly, so predictions are bit-identical to it.
+//
+//hd:hotpath
 func (m *Model) classifyEncoded(h hdc.Vector, norms [][]float64, sc *inferScratch) int {
 	classes := m.Cfg.Classes
 	for c := 0; c < classes; c++ {
@@ -423,8 +432,10 @@ func (m *Model) classifyEncoded(h hdc.Vector, norms [][]float64, sc *inferScratc
 		hseg := h[seg.lo:seg.hi]
 		var hn float64
 		if dm := m.dimMask(i); dm != nil {
+			//hdlint:ignore locksafety callers pin the learners (pinLearners) for the whole batch
 			hn = math.Sqrt(segmentDotsMasked(hseg, l.Class, sc.dots, dm))
 		} else {
+			//hdlint:ignore locksafety callers pin the learners (pinLearners) for the whole batch
 			hn = math.Sqrt(segmentDots(hseg, l.Class, sc.dots))
 		}
 		// Convert dots to cosine scores in place, replicating the
@@ -589,13 +600,20 @@ func (m *Model) Segments() [][2]int {
 	return out
 }
 
-// ClassVectors returns every weak learner's class hypervectors,
-// learner-major. Fault injection flips bits here; span-utilization
-// analysis reads them.
+// ClassVectors returns a deep copy of every weak learner's class
+// hypervectors, learner-major, each learner's taken under its read lock.
+// Span-utilization analysis and tests inspect the snapshot; mutation
+// (fault injection) goes through InjectClassFaults / MutateClass, never
+// through aliases of the live memory.
 func (m *Model) ClassVectors() [][]hdc.Vector {
 	out := make([][]hdc.Vector, len(m.Learners))
 	for i, l := range m.Learners {
-		out[i] = l.Class
+		l.ReadClass(func(class []hdc.Vector, _ uint64) {
+			out[i] = make([]hdc.Vector, len(class))
+			for c, cv := range class {
+				out[i][c] = cv.Clone()
+			}
+		})
 	}
 	return out
 }
@@ -606,9 +624,13 @@ func (m *Model) ConcatClassVectors() []hdc.Vector {
 	out := make([]hdc.Vector, m.Cfg.Classes)
 	for c := range out {
 		out[c] = hdc.NewVector(m.Cfg.TotalDim)
-		for i, l := range m.Learners {
-			copy(out[c][m.segs[i].lo:m.segs[i].hi], l.Class[c])
-		}
+	}
+	for i, l := range m.Learners {
+		l.ReadClass(func(class []hdc.Vector, _ uint64) {
+			for c, cv := range class {
+				copy(out[c][m.segs[i].lo:m.segs[i].hi], cv)
+			}
+		})
 	}
 	return out
 }
@@ -622,11 +644,13 @@ func (m *Model) ConcatClassVectors() []hdc.Vector {
 func (m *Model) EmbeddedClassVectors() []hdc.Vector {
 	out := make([]hdc.Vector, 0, len(m.Learners)*m.Cfg.Classes)
 	for i, l := range m.Learners {
-		for _, cv := range l.Class {
-			row := hdc.NewVector(m.Cfg.TotalDim)
-			copy(row[m.segs[i].lo:m.segs[i].hi], cv)
-			out = append(out, row)
-		}
+		l.ReadClass(func(class []hdc.Vector, _ uint64) {
+			for _, cv := range class {
+				row := hdc.NewVector(m.Cfg.TotalDim)
+				copy(row[m.segs[i].lo:m.segs[i].hi], cv)
+				out = append(out, row)
+			}
+		})
 	}
 	return out
 }

@@ -231,9 +231,11 @@ func (m *Model) predictLearnerMasked(l *onlinehd.HVClassifier, sub []hdc.Vector,
 	out := make([]int, len(sub))
 	_, unpin := l.PinClass()
 	defer unpin()
+	//hdlint:ignore locksafety read under the learner's pin taken on the line above
 	norms := maskedClassNorms(l.Class, healthy)
 	dots := make([]float64, l.Classes)
 	for r, h := range sub {
+		//hdlint:ignore locksafety read under the learner's pin held for the whole batch
 		hn := math.Sqrt(segmentDotsMasked(h, l.Class, dots, healthy))
 		for c := range dots {
 			if hn == 0 || norms[c] == 0 {

@@ -144,6 +144,8 @@ func (e *Encoder) checkRow(x []float64) error {
 }
 
 // project returns Gamma * <w_j, x> for output component j.
+//
+//hd:hotpath
 func (e *Encoder) project(j int, x []float64) float64 {
 	row := e.w[j*e.InDim : (j+1)*e.InDim]
 	var dot float64
@@ -155,6 +157,8 @@ func (e *Encoder) project(j int, x []float64) float64 {
 
 // encodeRange writes components [lo,hi) of the encoding of x into
 // dst[0:hi-lo]. The activation switch is hoisted out of the component loop.
+//
+//hd:hotpath
 func (e *Encoder) encodeRange(x []float64, lo, hi int, dst []float64) {
 	if e.Proj == ProjSeeded {
 		e.rematEncodeRange(x, lo, hi, dst)
@@ -222,6 +226,8 @@ const (
 // which hides the floating-point add latency that serializes a lone dot
 // product. Every row's dot product still accumulates in index order, so
 // results are bit-identical to the one-row path.
+//
+//hd:hotpath
 func (e *Encoder) encodeRange4(x0, x1, x2, x3 []float64, lo, hi int, d0, d1, d2, d3 []float64) {
 	in := e.InDim
 	g := e.Gamma
@@ -353,6 +359,8 @@ const invTwoPi = 1 / (2 * math.Pi)
 // phaseFrac returns t/(2*pi) mod 1 in [0,1) — the quadrant information the
 // sign-only encoder needs, at the cost of a multiply and a floor instead
 // of a full trigonometric evaluation.
+//
+//hd:hotpath
 func phaseFrac(t float64) float64 {
 	f := t * invTwoPi
 	return f - math.Floor(f)
@@ -442,10 +450,26 @@ func (e *Encoder) EncodeBitsRangeBatch(xs [][]float64, lo, hi int, dst []*hdc.Bi
 	return nil
 }
 
+// bitSign reads one component's sign off its phase for the non-Nonlinear
+// kinds: RFF is the sign of cos(d+b) read from the cosine quadrant, Linear
+// the raw projection sign. Hoisted out of encodeBits4 so the kernel stays
+// closure-free.
+//
+//hd:hotpath
+func bitSign(kind Kind, d, bj float64) bool {
+	if kind == RFF {
+		fc := phaseFrac(d + bj)
+		return !(fc > 0.25 && fc < 0.75)
+	}
+	return d >= 0
+}
+
 // encodeBits4 is the four-row register-blocked core of the sign-bit
 // encoder: one shared sweep of the projection rows feeds four independent
 // dot-product chains, each component's sign is read off its phase, and
 // completed 64-bit words are stored directly into the destinations.
+//
+//hd:hotpath
 func (e *Encoder) encodeBits4(x0, x1, x2, x3 []float64, lo, hi int, d0, d1, d2, d3 *hdc.BitVector) {
 	in := e.InDim
 	g := e.Gamma
@@ -499,13 +523,6 @@ func (e *Encoder) encodeBits4(x0, x1, x2, x3 []float64, lo, hi int, d0, d1, d2, 
 		}
 		return
 	}
-	sign := func(d float64, bj float64) bool {
-		if e.Kind == RFF {
-			fc := phaseFrac(d + bj)
-			return !(fc > 0.25 && fc < 0.75)
-		}
-		return d >= 0
-	}
 	for jStart := lo; jStart < hi; jStart += 64 {
 		jEnd := jStart + 64
 		if jEnd > hi {
@@ -523,16 +540,16 @@ func (e *Encoder) encodeBits4(x0, x1, x2, x3 []float64, lo, hi int, d0, d1, d2, 
 			}
 			bj := e.b[j]
 			bit := uint64(1) << uint(j-jStart)
-			if sign(s0*g, bj) {
+			if bitSign(e.Kind, s0*g, bj) {
 				w0 |= bit
 			}
-			if sign(s1*g, bj) {
+			if bitSign(e.Kind, s1*g, bj) {
 				w1 |= bit
 			}
-			if sign(s2*g, bj) {
+			if bitSign(e.Kind, s2*g, bj) {
 				w2 |= bit
 			}
-			if sign(s3*g, bj) {
+			if bitSign(e.Kind, s3*g, bj) {
 				w3 |= bit
 			}
 		}

@@ -62,6 +62,8 @@ func NewIDLevel(inDim, outDim, levels int, lo, hi float64, seed int64) (*IDLevel
 }
 
 // quantize maps a feature value to a level index, clamping to the range.
+//
+//hd:hotpath
 func (e *IDLevelEncoder) quantize(x float64) int {
 	if x <= e.Lo {
 		return 0

@@ -90,6 +90,9 @@ func ParseProjection(s string) (Projection, error) {
 // property rematerialization depends on.
 const sm64Gamma = 0x9E3779B97F4A7C15
 
+// mix64 is the splitmix64 finalizer.
+//
+//hd:hotpath
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
@@ -97,6 +100,8 @@ func mix64(z uint64) uint64 {
 }
 
 // counterRand returns element i of the splitmix64 stream rooted at base.
+//
+//hd:hotpath
 func counterRand(base, i uint64) uint64 {
 	return mix64(base + (i+1)*sm64Gamma)
 }
@@ -115,6 +120,8 @@ func seededBases(seed int64) (wBase, bBase uint64) {
 
 // toUnit maps a uint64 onto [0,1) with 53 bits of precision, matching the
 // resolution of rand.Float64 without its stream coupling.
+//
+//hd:hotpath
 func toUnit(u uint64) float64 {
 	return float64(u>>11) / (1 << 53)
 }
@@ -172,12 +179,16 @@ func NewSeededWithGamma(inDim, outDim int, kind Kind, gamma float64, seed int64,
 
 // signWord returns the packed Rademacher signs of projection row j for
 // feature word t (bit k set means weight +1 for feature t*64+k).
+//
+//hd:hotpath
 func (e *Encoder) signWord(j, t int) uint64 {
 	return counterRand(e.wBase, uint64(j)*uint64(e.wpr)+uint64(t))
 }
 
 // phaseAt returns the phase offset of output component j from the phase
 // counter stream.
+//
+//hd:hotpath
 func (e *Encoder) phaseAt(j int) float64 {
 	return twoPi * toUnit(counterRand(e.bBase, uint64(j)))
 }
@@ -188,6 +199,8 @@ func (e *Encoder) phaseAt(j int) float64 {
 // rematerialization: the tile regeneration is O(tile) against O(tile x
 // rows) of dot-product work, so the kernels keep the stored GEMM inner
 // loop while the resident encoder stays O(1).
+//
+//hd:hotpath
 func (e *Encoder) materializeRowsInto(lo, hi int, out []float64) {
 	const one = 0x3FF0000000000000 // math.Float64bits(1.0)
 	for j := lo; j < hi; j++ {
@@ -234,12 +247,16 @@ func (e *Encoder) StateBytes() int {
 // multiplication by -1 the stored kernel performs, so the rematerialized
 // accumulation is bit-identical to the materialized one — and branchless,
 // which matters against 50/50-random sign bits.
+//
+//hd:hotpath
 func flipSign64(x float64, sgn uint64) float64 {
 	return math.Float64frombits(math.Float64bits(x) ^ sgn)
 }
 
 // rematDot computes <w_j, x> with row j regenerated from the sign stream.
 // Accumulation runs in feature index order, matching the stored kernel.
+//
+//hd:hotpath
 func (e *Encoder) rematDot(j int, x []float64) float64 {
 	x = x[:e.InDim]
 	var s float64
@@ -262,6 +279,8 @@ func (e *Encoder) rematDot(j int, x []float64) float64 {
 // 0.5*sin(b) term) regenerated per component. The batch path amortizes
 // that regeneration across a row block; this path serves single-row
 // Encode calls.
+//
+//hd:hotpath
 func (e *Encoder) rematEncodeRange(x []float64, lo, hi int, dst []float64) {
 	g := e.Gamma
 	switch e.Kind {
@@ -287,6 +306,8 @@ func (e *Encoder) rematEncodeRange(x []float64, lo, hi int, dst []float64) {
 // block and reuse it across every row group in the block, so the sin()
 // the nonlinear activation needs costs one evaluation per (component,
 // row-block) instead of one per (component, row-quad).
+//
+//hd:hotpath
 func (e *Encoder) phaseTile(j0, j1 int, b, hsb []float64) {
 	for j := j0; j < j1; j++ {
 		b[j-j0] = e.phaseAt(j)
@@ -308,6 +329,8 @@ func (e *Encoder) phaseTile(j0, j1 int, b, hsb []float64) {
 // dst maps a row index to its destination slice (full OutDim width).
 // Tile values are the same +-1.0 float64s a ProjSeededStored encoder
 // holds, so outputs are bit-identical to it.
+//
+//hd:hotpath
 func (e *Encoder) rematEncodeRows(xs [][]float64, lo, hi int, dst func(i int) []float64) {
 	in := e.InDim
 	g := e.Gamma
@@ -401,6 +424,8 @@ func (e *Encoder) rematEncodeRows(xs [][]float64, lo, hi int, dst func(i int) []
 // rematSignBit reports the sign of encoding component j of x (projection
 // d, phase b), replicating the phase-quadrant logic of the stored bits
 // kernel exactly.
+//
+//hd:hotpath
 func (e *Encoder) rematSignBit(d, b float64) bool {
 	switch e.Kind {
 	case Nonlinear:
@@ -415,6 +440,8 @@ func (e *Encoder) rematSignBit(d, b float64) bool {
 }
 
 // rematEncodeBitsRange is the scalar rematerialized sign-bit kernel.
+//
+//hd:hotpath
 func (e *Encoder) rematEncodeBitsRange(x []float64, lo, hi int, dst *hdc.BitVector) {
 	g := e.Gamma
 	for j := lo; j < hi; j++ {
@@ -428,6 +455,8 @@ func (e *Encoder) rematEncodeBitsRange(x []float64, lo, hi int, dst *hdc.BitVect
 // kernel's 4-row word-assembly loop plus a scalar row tail. No
 // trigonometry on this path — signs come off the phase quadrants — and
 // tile values match ProjSeededStored bit for bit.
+//
+//hd:hotpath
 func (e *Encoder) rematEncodeBitsBatch(xs [][]float64, lo, hi int, dst []*hdc.BitVector) {
 	in := e.InDim
 	g := e.Gamma

@@ -137,7 +137,7 @@ func RunInferBench(opt Options) (*Table, error) {
 	}
 	floatBits := 0
 	for _, l := range m.Learners {
-		floatBits += len(l.Class) * l.Dim * 64
+		floatBits += l.Classes * l.Dim * 64
 	}
 	t := &Table{
 		Title: fmt.Sprintf("Inference backends: BoostHD Dtotal=%d NL=%d on %s (%d test rows)",

@@ -54,6 +54,8 @@ func (v Vector) Dim() int { return len(v) }
 // Bundle accumulates src into v element-wise (R = V1 + V2), the HDC
 // memorization primitive. It panics on dimension mismatch, which indicates
 // a caller bug: all hypervectors in one space share a dimension.
+//
+//hd:mutates
 func (v Vector) Bundle(src Vector) {
 	mustSameDim(len(v), len(src))
 	for i, s := range src {
@@ -63,6 +65,8 @@ func (v Vector) Bundle(src Vector) {
 
 // BundleScaled accumulates alpha*src into v, the weighted bundling used by
 // OnlineHD model updates (W <- W + lr*(1-delta)*H).
+//
+//hd:mutates
 func (v Vector) BundleScaled(src Vector, alpha float64) {
 	mustSameDim(len(v), len(src))
 	for i, s := range src {
@@ -137,6 +141,8 @@ func Cosine(a, b Vector) float64 {
 }
 
 // Normalize scales v to unit norm in place; the zero vector is unchanged.
+//
+//hd:mutates
 func (v Vector) Normalize() {
 	n := Norm(v)
 	if n == 0 {
@@ -149,6 +155,8 @@ func (v Vector) Normalize() {
 }
 
 // Scale multiplies every component by alpha in place.
+//
+//hd:mutates
 func (v Vector) Scale(alpha float64) {
 	for i := range v {
 		v[i] *= alpha

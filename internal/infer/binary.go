@@ -15,6 +15,8 @@ import (
 )
 
 // popcount counts set bits (alias keeps the scoring loop terse).
+//
+//hd:hotpath
 func popcount(x uint64) int { return bits.OnesCount64(x) }
 
 // QuantizeDrop is the fraction of each class hypervector's
@@ -32,10 +34,14 @@ const QuantizeDrop = 0.25
 // mutated after construction — refresh swaps in a whole new one — so
 // readers that load a snapshot can score against it without locks.
 type quantization struct {
-	class    [][]*hdc.BitVector // [learner][class] segment-local sign planes
-	mask     [][]*hdc.BitVector // [learner][class] confidence masks
-	maskOnes [][]float64        // popcount of each mask, precomputed
-	versions []uint64           // learner versions at quantization time
+	//hd:guarded snapshot plane memory; direct access only in this file
+	class [][]*hdc.BitVector // [learner][class] segment-local sign planes
+
+	//hd:guarded snapshot plane memory; direct access only in this file
+	mask [][]*hdc.BitVector // [learner][class] confidence masks
+
+	maskOnes [][]float64 // popcount of each mask, precomputed
+	versions []uint64    // learner versions at quantization time
 
 	// planes is the scoring kernel's view of the same memory: one
 	// contiguous class-major block per learner, class c's sign words at
@@ -45,6 +51,8 @@ type quantization struct {
 	// re-anchors them), so the scrubber's ReadPlanes and the kernels
 	// observe the identical bits while the hot loop walks one flat slice
 	// with sign and mask adjacent — no pointer chasing, one stream.
+	//
+	//hd:guarded
 	planes [][]uint64
 }
 
@@ -334,6 +342,8 @@ func (bm *BinaryModel) EncodeBits(x []float64, dst []*hdc.BitVector) error {
 // probe (EvaluateLearners) so a masked learner is always evaluated the
 // way it serves. An all-masked class scores 0, the zero-norm
 // convention.
+//
+//hd:hotpath
 func maskedPlaneScore(q, sign, mask, healthy []uint64) float64 {
 	dis, ones := 0, 0
 	for w, qw := range q {
@@ -350,6 +360,8 @@ func maskedPlaneScore(q, sign, mask, healthy []uint64) float64 {
 // planeDistance is the single-row scoring core: popcount((q^sign)&mask)
 // over one class's words, 4-way unrolled with independent accumulators so
 // the popcount chains don't serialize on one register dependency.
+//
+//hd:hotpath
 func planeDistance(q, sign, mask []uint64) int {
 	var d0, d1, d2, d3 int
 	w := 0
@@ -370,6 +382,8 @@ func planeDistance(q, sign, mask []uint64) int {
 // independent XOR/AND/popcount chains. At batch scale this is what turns
 // scoring from plane-bandwidth-bound into query-bound — the class memory
 // is read len(batch)/4 times instead of len(batch) times.
+//
+//hd:hotpath
 func planeDistance4(q0, q1, q2, q3, sign, mask []uint64) (d0, d1, d2, d3 int) {
 	sign = sign[:len(q0)]
 	mask = mask[:len(q0)]
@@ -388,6 +402,8 @@ func planeDistance4(q0, q1, q2, q3, sign, mask []uint64) (d0, d1, d2, d3 int) {
 // row, walking the packed class-major plane block. The dimension-
 // quarantined path (healthy != nil) keeps the reference word loop —
 // correctness of the renormalization over raw speed.
+//
+//hd:hotpath
 func scoreLearner(qz *quantization, i int, q []uint64, healthy []uint64, scores []float64) {
 	planes := qz.planes[i]
 	w := len(q)
@@ -407,6 +423,8 @@ func scoreLearner(qz *quantization, i int, q []uint64, healthy []uint64, scores 
 // aggregate under the model's aggregation rule. Kept out of line so the
 // single-row and 4-row kernels share the exact accumulation order —
 // that order is part of the bit-identity contract.
+//
+//hd:hotpath
 func aggregateLearner(score bool, alpha float64, scores, agg []float64) {
 	if score {
 		for c := range agg {
@@ -424,6 +442,8 @@ func aggregateLearner(score bool, alpha float64, scores, agg []float64) {
 }
 
 // argmax returns the lowest index of the maximum aggregate.
+//
+//hd:hotpath
 func argmax(agg []float64) int {
 	best := 0
 	for c := 1; c < len(agg); c++ {
@@ -435,6 +455,8 @@ func argmax(agg []float64) int {
 }
 
 // predictBits scores a query against one snapshot.
+//
+//hd:hotpath
 func (bm *BinaryModel) predictBits(qz *quantization, q []*hdc.BitVector, agg, scores []float64) int {
 	classes := bm.model.Cfg.Classes
 	for c := 0; c < classes; c++ {
@@ -466,6 +488,8 @@ func (bm *BinaryModel) predictBits(qz *quantization, q []*hdc.BitVector, agg, sc
 // order and each row's aggregate accumulates exactly as in predictBits,
 // so predictions (and scores) are bit-identical to four single-row calls.
 // agg and scores are [4][classes] scratch; out[0:4] receives the labels.
+//
+//hd:hotpath
 func (bm *BinaryModel) predictBits4(qz *quantization, q0, q1, q2, q3 []*hdc.BitVector, agg, scores [][]float64, out []int) {
 	classes := bm.model.Cfg.Classes
 	for r := 0; r < 4; r++ {

@@ -46,8 +46,10 @@ func (bm *BinaryModel) Save(w io.Writer) error {
 		Gamma:   m.Gamma(),
 		Alphas:  append([]float64(nil), m.Alphas...),
 		SegDims: append([]int(nil), bm.segDims...),
-		Class:   qz.class,
-		Mask:    qz.mask,
+		//hdlint:ignore locksafety snapshots are immutable once installed; the wire encoder only reads frozen planes
+		Class: qz.class,
+		//hdlint:ignore locksafety snapshots are immutable once installed; the wire encoder only reads frozen planes
+		Mask: qz.mask,
 	}
 	version := byte(wire.Version1)
 	if m.Cfg.Projection != encoding.ProjStored {

@@ -47,7 +47,11 @@ func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 // Set assigns element (i, j).
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
-// Row returns a view (not a copy) of row i.
+// Row returns a view (not a copy) of row i. The aliasing is the method's
+// contract: callers fill rows in place, and Matrix carries no
+// synchronization to be bypassed.
+//
+//hdlint:ignore snapshotalias Row is a documented in-place view of an unsynchronized math type
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Clone returns a deep copy of m.

@@ -385,13 +385,15 @@ func (m *Model) Evaluate(X [][]float64, y []int) (float64, error) {
 	return float64(correct) / float64(len(y)), nil
 }
 
-// Weights exposes the flat weight slices of every layer (fault injection
-// flips bits here).
+// Weights exposes the flat weight slices of every layer. The aliasing is
+// the method's contract: fault injection flips bits of the live weights
+// in place, and the DNN baseline is only ever mutated single-threaded.
 func (m *Model) Weights() [][]float64 {
 	out := make([][]float64, len(m.layers))
 	for i, d := range m.layers {
 		out[i] = d.w
 	}
+	//hdlint:ignore snapshotalias exposing live weight memory is the contract; fault injection mutates in place
 	return out
 }
 

@@ -34,10 +34,14 @@ type HVClassifier struct {
 	Dim     int
 	Classes int
 	LR      float64
-	Class   []hdc.Vector // Classes hypervectors of length Dim
 
-	mu      sync.RWMutex
-	version uint64    // incremented on every Class mutation (Fit, MutateClass, Invalidate)
+	//hd:guarded direct access only in this file; use ReadClass/MutateClass/PinClass/SetClass
+	Class []hdc.Vector // Classes hypervectors of length Dim
+
+	mu sync.RWMutex
+
+	//hd:version bumped on every Class mutation (Fit, MutateClass, Invalidate)
+	version uint64
 	normVer uint64    // version the cached norms were computed at
 	norms   []float64 // immutable norm snapshot; replaced on refresh, never rewritten
 }
@@ -173,6 +177,7 @@ func (c *HVClassifier) ClassNorms() []float64 {
 	if c.norms != nil && c.normVer == c.version {
 		norms := c.norms
 		c.mu.RUnlock()
+		//hdlint:ignore snapshotalias norms is an immutable snapshot: replaced on refresh, never rewritten
 		return norms
 	}
 	c.mu.RUnlock()
@@ -186,6 +191,7 @@ func (c *HVClassifier) ClassNorms() []float64 {
 		c.norms = norms
 		c.normVer = c.version
 	}
+	//hdlint:ignore snapshotalias norms is an immutable snapshot: replaced on refresh, never rewritten
 	return c.norms
 }
 
@@ -200,6 +206,7 @@ func (c *HVClassifier) PinClass() (norms []float64, unpin func()) {
 		c.ClassNorms() // refresh outside the read lock (may take the write lock)
 		c.mu.RLock()
 		if c.norms != nil && c.normVer == c.version {
+			//hdlint:ignore snapshotalias pinned immutable norm snapshot; the paired unpin releases the read lock
 			return c.norms, c.mu.RUnlock
 		}
 		c.mu.RUnlock() // mutated between refresh and pin; retry
@@ -383,6 +390,8 @@ func (c *HVClassifier) Fit(hs []hdc.Vector, y []int, opt FitOptions) error {
 // lr*(1-delta_pred), both scaled by the sample weight. It reports whether
 // the class memory changed, so streaming callers can skip the version
 // bump (and the downstream re-quantization it triggers) on a no-op.
+//
+//hd:mutator writes Class under the caller's write lock; the version bump is the caller's obligation
 func (c *HVClassifier) update(h hdc.Vector, label int, scale float64, scores []float64) bool {
 	c.scoresFresh(h, scores)
 	pred := argmax(scores)
@@ -399,6 +408,8 @@ func (c *HVClassifier) update(h hdc.Vector, label int, scale float64, scores []f
 // misprediction the winning class is pushed away. Unlike the adaptive
 // rule it also reinforces correctly classified samples, which seeds the
 // class geometry the refinement epochs then sharpen.
+//
+//hd:mutator writes Class under the caller's write lock; the version bump is the caller's obligation
 func (c *HVClassifier) onePass(h hdc.Vector, label int, scale float64, scores []float64) {
 	c.scoresFresh(h, scores)
 	pred := argmax(scores)

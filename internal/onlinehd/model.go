@@ -144,6 +144,7 @@ func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
 		}
 		for i := lo; i < hi; i++ {
 			h := hdc.Vector(sc.buf[(i-lo)*D : (i-lo+1)*D])
+			//hdlint:ignore locksafety read under the classifier's pin held for the whole batch
 			scoresWithNorms(h, m.HV.Class, norms, sc.scores)
 			out[i] = argmax(sc.scores)
 		}
@@ -176,6 +177,17 @@ func (m *Model) Evaluate(X [][]float64, y []int) (float64, error) {
 	return float64(correct) / float64(len(y)), nil
 }
 
-// ClassVectors exposes the trained class hypervectors (fault injection and
-// span-utilization analysis mutate or inspect them).
-func (m *Model) ClassVectors() []hdc.Vector { return m.HV.Class }
+// ClassVectors returns a deep copy of the trained class hypervectors,
+// taken under the classifier's read lock. Inspection (span-utilization
+// analysis) reads the snapshot; mutation goes through the classifier's
+// MutateClass/SetClass accessors, never through aliases of live memory.
+func (m *Model) ClassVectors() []hdc.Vector {
+	var out []hdc.Vector
+	m.HV.ReadClass(func(class []hdc.Vector, _ uint64) {
+		out = make([]hdc.Vector, len(class))
+		for c, cv := range class {
+			out[c] = cv.Clone()
+		}
+	})
+	return out
+}

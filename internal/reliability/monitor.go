@@ -1131,6 +1131,7 @@ func (mo *Monitor) Repair() (RepairReport, error) {
 				// The checkpoint model is private to this call, so its
 				// class vectors can be read directly; the restore goes
 				// through the live learner's write lock either way.
+				//hdlint:ignore locksafety checkpoint model is private to this call; no concurrent readers
 				src := ckpt.Learners[nd.learner].Class
 				var err error
 				if nd.whole {

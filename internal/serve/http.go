@@ -282,12 +282,15 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 		"mean_batch":  st.MeanBatch,
 		"swaps":       st.Swaps,
 		"queue_depth": st.QueueDepth,
-		// Model identity: backend + serving-engine generation, so an
-		// operator can confirm a swap / quarantine / repair landed
-		// (the version advances on every installed engine).
+		// Model identity: backend + projection + serving-engine
+		// generation, so an operator can confirm a swap / quarantine /
+		// repair landed (the version advances on every installed engine)
+		// and see which encoder representation is live.
 		"model": map[string]any{
-			"backend": st.Backend,
-			"version": st.ModelVersion,
+			"backend":             st.Backend,
+			"version":             st.ModelVersion,
+			"projection":          st.Projection,
+			"encoder_state_bytes": st.EncoderStateBytes,
 		},
 	}
 	if h.cfg.Trainer != nil {

@@ -402,6 +402,12 @@ func TestHealthzModelIdentity(t *testing.T) {
 	if v := model["version"].(float64); v != 1 {
 		t.Errorf("fresh server model version = %v, want 1", v)
 	}
+	if p := model["projection"]; p != "stored" {
+		t.Errorf("model projection = %v, want stored", p)
+	}
+	if eb, ok := model["encoder_state_bytes"].(float64); !ok || eb <= 0 {
+		t.Errorf("model encoder_state_bytes = %v, want a positive byte count", model["encoder_state_bytes"])
+	}
 	if err := s.Swap(s.Engine()); err != nil {
 		t.Fatal(err)
 	}

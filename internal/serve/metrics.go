@@ -33,6 +33,10 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("boosthd_swaps_total", "Serving engines installed (hot swaps, repairs, retrains).", float64(st.Swaps))
 	gauge("boosthd_queue_depth", "Requests currently queued in the micro-batcher.", float64(st.QueueDepth))
 	gauge("boosthd_model_version", "Generation of the installed serving engine.", float64(st.ModelVersion))
+	gauge("boosthd_encoder_state_bytes", "Resident memory of the serving encoder stack (O(1) for the rematerialized projection).", float64(st.EncoderStateBytes))
+	fmt.Fprintf(&b, "# HELP boosthd_model_info Serving model identity; constant 1, labeled by backend and encoder projection mode.\n")
+	fmt.Fprintf(&b, "# TYPE boosthd_model_info gauge\n")
+	fmt.Fprintf(&b, "boosthd_model_info{backend=%q,projection=%q} 1\n", st.Backend, st.Projection)
 
 	if h.cfg.Trainer != nil {
 		tst := h.cfg.Trainer.Status()

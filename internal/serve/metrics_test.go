@@ -119,6 +119,16 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	metricLine(t, body, "boosthd_model_version")
 
+	// Encoder identity: the state gauge reports resident encoder memory
+	// and the info metric carries backend + projection labels.
+	if line := metricLine(t, body, "boosthd_encoder_state_bytes"); strings.HasSuffix(line, " 0") {
+		t.Errorf("encoder state gauge reports no memory: %q", line)
+	}
+	if line := metricLine(t, body, "boosthd_model_info"); !strings.Contains(line, `backend="float"`) ||
+		!strings.Contains(line, `projection="stored"`) || !strings.HasSuffix(line, " 1") {
+		t.Errorf("model info metric mislabeled: %q", line)
+	}
+
 	// POST is not a scrape.
 	resp, err := http.Post(ts.URL+"/metrics", "text/plain", strings.NewReader(""))
 	if err != nil {

@@ -86,6 +86,15 @@ type Stats struct {
 	// across healthz polls to confirm a swap / quarantine / repair
 	// actually landed on the serving path.
 	ModelVersion uint64
+	// EncoderStateBytes is the resident memory of the serving model's
+	// encoder stack (projection matrix, phases, activation cache); O(1)
+	// for the rematerialized projection. A swap to a differently encoded
+	// model shows up here.
+	EncoderStateBytes int
+	// Projection names the serving encoder's projection mode (stored,
+	// seeded-stored, seeded), the axis the paper's memory/latency
+	// trade-off sweeps.
+	Projection string
 }
 
 // Server fronts a hot-swappable engine with the micro-batcher. All
@@ -223,14 +232,18 @@ func (s *Server) Stats() Stats {
 		mean = float64(served) / float64(batches)
 	}
 	swaps := s.swaps.Load()
+	eng := s.engine.Load()
+	m := eng.Model()
 	return Stats{
-		Served:       served,
-		Batches:      batches,
-		MeanBatch:    mean,
-		Swaps:        swaps,
-		QueueDepth:   len(s.reqs),
-		Backend:      s.engine.Load().Backend().String(),
-		ModelVersion: swaps + 1,
+		Served:            served,
+		Batches:           batches,
+		MeanBatch:         mean,
+		Swaps:             swaps,
+		QueueDepth:        len(s.reqs),
+		Backend:           eng.Backend().String(),
+		ModelVersion:      swaps + 1,
+		EncoderStateBytes: m.EncoderStateBytes(),
+		Projection:        m.Cfg.Projection.String(),
 	}
 }
 
