@@ -277,6 +277,51 @@ func NewTrainer(srv *Server, cfg TrainerConfig) (*Trainer, error) {
 	return trainer.New(srv, cfg)
 }
 
+// Delta is a tenant's copy-on-write personalization: replacement class
+// memories for a few of the base ensemble's weak learners plus a
+// private alpha slice. A delta view over the shared base predicts
+// bit-for-bit like a fully materialized per-tenant model on both
+// backends while sharing everything it does not override.
+type Delta = core.Delta
+
+// TenantRegistry multiplexes one serving process across tenants: a
+// tenant ID resolves to an engine view built from the shared base model
+// plus the tenant's copy-on-write delta, with an LRU over resident
+// views and cold loads from a write-through DeltaStore.
+type TenantRegistry = serve.TenantRegistry
+
+// TenantRegistryConfig tunes the registry (delta store, LRU capacity).
+type TenantRegistryConfig = serve.TenantRegistryConfig
+
+// TenantStats is a point-in-time snapshot of a TenantRegistry.
+type TenantStats = serve.TenantStats
+
+// DeltaStore is the per-tenant checkpoint store behind a registry.
+type DeltaStore = serve.DeltaStore
+
+// FileDeltaStore persists one delta record per tenant under a directory.
+type FileDeltaStore = serve.FileDeltaStore
+
+// NewTenantRegistry builds a registry multiplexing srv's serving engine.
+func NewTenantRegistry(srv *Server, cfg TenantRegistryConfig) (*TenantRegistry, error) {
+	return serve.NewTenantRegistry(srv, cfg)
+}
+
+// TenantTrainer is the per-tenant continual-learning subsystem: tenant
+// observations buffer privately (never touching the shared base), and a
+// tenant retrain refits only that tenant's delta learners, installing
+// the result through the registry.
+type TenantTrainer = trainer.TenantTrainer
+
+// TenantTrainerConfig tunes the tenant trainer (buffer capacity,
+// retrain threshold, copy-on-write learner budget).
+type TenantTrainerConfig = trainer.TenantConfig
+
+// NewTenantTrainer builds a TenantTrainer installing deltas into reg.
+func NewTenantTrainer(reg *TenantRegistry, cfg TenantTrainerConfig) (*TenantTrainer, error) {
+	return trainer.NewTenantTrainer(reg, cfg)
+}
+
 // ReliabilityMonitor is the runtime integrity subsystem for a serving
 // model: segmented integrity signatures over the model memory verified
 // by a background scrubber, a held-out canary that scores each weak

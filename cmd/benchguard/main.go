@@ -73,6 +73,13 @@ var suites = []suite{
 		tolScale:  1,
 	},
 	{
+		pkg:       "./internal/serve",
+		bench:     "^BenchmarkTenantResolve$",
+		benchtime: "200ms",
+		count:     5,
+		tolScale:  1,
+	},
+	{
 		pkg:       ".",
 		bench:     "^BenchmarkInferBackends$",
 		benchtime: "1x",

@@ -13,6 +13,7 @@
 //	              [-checkpoint-dir dir] [-body-limit bytes] [-max-rows N]
 //	              [-auth-token secret]
 //	              [-trainer] [-retrain-every 0] [-buffer 4096] [-retrain-mode full|alphas]
+//	              [-tenants] [-tenant-dir dir] [-tenant-cache 1024]
 //	              [-scrub-every 0] [-canary 0] [-quarantine-threshold 0.15]
 //	              [-segment-words 8] [-min-healthy 0.5] [-chaos]
 //	              [-read-timeout 30s] [-write-timeout 30s] [-idle-timeout 2m]
@@ -54,6 +55,18 @@
 // healthy-dimension fractions and masked-word counts. -chaos enables
 // the POST /inject word-fault drill endpoint (binary backend only).
 //
+// Multi-tenant serving: -tenants multiplexes the process across tenants
+// — one shared immutable base model plus a copy-on-write learner delta
+// per tenant (an LRU of resident views over a per-tenant checkpoint
+// store in -tenant-dir). Requests address a tenant with the X-Tenant
+// header or the /t/{tenant}/{predict,predict_batch,observe,retrain}
+// path form; tenant observes buffer privately and tenant retrains refit
+// only that tenant's delta learners, never the shared base. A base
+// retrain republishes to every tenant through the server's atomic swap.
+// With -scrub-every the registry also re-verifies each resident delta's
+// signature on the scrub cadence (the base is signed once by the
+// reliability monitor).
+//
 // Endpoints:
 //
 //	POST /predict        {"features":[...]}                      -> {"label":n}
@@ -64,16 +77,20 @@
 //	POST /observe        {"features":[...],"label":n}            -> ingestion report
 //	POST /retrain        {}                                      -> retrain report
 //	GET  /reliability                                            -> health ledger + counters
+//	GET  /tenants                                                -> tenant registry stats
+//	*    /t/{tenant}/{predict|predict_batch|observe|retrain}     -> tenant-scoped ops
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"os"
 	osignal "os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -103,6 +120,9 @@ func main() {
 	bodyLimit := flag.Int64("body-limit", 0, "request body cap in bytes (0 = default 8 MiB, negative = unlimited)")
 	maxRows := flag.Int("max-rows", 0, "batch request row cap (0 = default 4096, negative = unlimited)")
 	useTrainer := flag.Bool("trainer", false, "enable the streaming continual-learning trainer (/observe, /retrain)")
+	useTenants := flag.Bool("tenants", false, "enable multi-tenant serving (X-Tenant header and /t/{tenant}/... routes over copy-on-write per-tenant deltas)")
+	tenantDir := flag.String("tenant-dir", "", "per-tenant delta checkpoint directory (empty = ephemeral temp dir)")
+	tenantCache := flag.Int("tenant-cache", 0, "resident tenant view cache size (0 = default 1024)")
 	retrainEvery := flag.Duration("retrain-every", 0, "background retrain period (0 = manual /retrain only)")
 	bufferCap := flag.Int("buffer", 4096, "trainer sample buffer capacity")
 	retrainMode := flag.String("retrain-mode", "full", "retrain scope: full (refit learners+alphas) or alphas (reweight only)")
@@ -126,6 +146,16 @@ func main() {
 		flag.Visit(func(f *flag.Flag) {
 			if trainerOnly[f.Name] {
 				fail(fmt.Errorf("-%s requires -trainer", f.Name))
+			}
+		})
+	}
+	// Tenant-only knobs without -tenants would configure a subsystem that
+	// never starts; refuse the misconfiguration outright.
+	if !*useTenants {
+		tenantOnly := map[string]bool{"tenant-dir": true, "tenant-cache": true}
+		flag.Visit(func(f *flag.Flag) {
+			if tenantOnly[f.Name] {
+				fail(fmt.Errorf("-%s requires -tenants", f.Name))
 			}
 		})
 	}
@@ -220,6 +250,41 @@ func main() {
 		fmt.Printf("/swap allowlist root: %s\n", *checkpointDir)
 	}
 
+	var reg *serve.TenantRegistry
+	if *useTenants {
+		dir := *tenantDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "boosthd-tenants-*")
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("tenants: no -tenant-dir; deltas persist to ephemeral %s\n", dir)
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			fail(err)
+		}
+		reg, err = serve.NewTenantRegistry(srv, serve.TenantRegistryConfig{
+			Store:     serve.FileDeltaStore{Dir: dir},
+			CacheSize: *tenantCache,
+		})
+		if err != nil {
+			fail(err)
+		}
+		tt, err := trainer.NewTenantTrainer(reg, trainer.TenantConfig{})
+		if err != nil {
+			fail(err)
+		}
+		hcfg.Tenants = reg
+		hcfg.TenantTrainer = tt
+		if *scrubEvery > 0 {
+			// The reliability monitor signs the base once; the registry
+			// scrubs each resident tenant delta separately on the same
+			// cadence.
+			reg.Start(*scrubEvery)
+		}
+		st := reg.Stats()
+		fmt.Printf("tenants: delta store %s, cache %d views, base %s\n", dir, st.Capacity, st.BaseHash)
+	}
+
 	var mon *reliability.Monitor
 	if *scrubEvery > 0 {
 		rcfg := reliability.Config{
@@ -236,6 +301,11 @@ func main() {
 			// stays strict instead of trusting version bumps wholesale.
 			SignedUpdates: *useTrainer,
 		}
+		if *checkpointDir != "" {
+			// Fault history and criticality baselines survive restarts:
+			// persisted after every scrub/repair pass, restored below.
+			rcfg.StatePath = filepath.Join(*checkpointDir, "reliability_state.json")
+		}
 		if tr != nil {
 			rcfg.Trainer = tr
 		}
@@ -249,6 +319,19 @@ func main() {
 		if len(canaryX) > 0 {
 			if err := mon.SetCanary(canaryX, canaryY); err != nil {
 				fail(err)
+			}
+		}
+		// Load AFTER SetCanary so persisted baselines (and the expensive
+		// criticality sweep) win over the freshly recomputed ones. A
+		// mismatched or corrupt state file is loud but non-fatal: the
+		// monitor starts with a blank ledger, as before persistence.
+		if sp := rcfg.StatePath; sp != "" {
+			switch err := mon.LoadState(sp); {
+			case err == nil:
+				fmt.Printf("reliability: restored health ledger from %s\n", sp)
+			case errors.Is(err, os.ErrNotExist):
+			default:
+				fmt.Fprintln(os.Stderr, "boosthd-serve: starting with a fresh health ledger:", err)
 			}
 		}
 		mon.Start()
@@ -316,8 +399,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "boosthd-serve: retrain still running past shutdown grace; abandoning it")
 		}
 	}
+	if reg != nil {
+		reg.Stop()
+	}
 	if mon != nil {
 		mon.Stop()
+		if sp := mon.Config().StatePath; sp != "" {
+			if err := mon.SaveState(sp); err != nil {
+				fmt.Fprintln(os.Stderr, "boosthd-serve:", err)
+			}
+		}
 	}
 	srv.Close()
 	fmt.Println("drained; bye")

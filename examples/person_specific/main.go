@@ -1,14 +1,23 @@
-// Person-specific reliability (the paper's Table III protocol): hold out
-// demographic cohorts — left-handed, female, young, older, short, tall —
-// as unseen test subjects and measure how equitably each model performs.
-// Healthcare deployments must not work only for the average wearer.
+// Person-specific serving (the paper's Table III concern, deployed): a
+// single shared BoostHD base model serves every wearer, and each held-out
+// subject personalizes it as a tenant — labeled windows flow in through
+// /t/{tenant}/observe, /t/{tenant}/retrain refits only that tenant's
+// copy-on-write delta learners, and /t/{tenant}/predict_batch answers
+// from the tenant's view. The shared base is never written: its hash is
+// identical before and after every personalization, so one wearer's
+// adaptation cannot regress another's.
 //
 //	go run ./examples/person_specific
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
 
 	"boosthd"
 	"boosthd/internal/dataset"
@@ -20,54 +29,202 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("WESAD-style cohort: %d subjects, %d windows\n\n", len(subjects), data.Len())
+	fmt.Printf("WESAD-style cohort: %d subjects, %d windows\n", len(subjects), data.Len())
 
-	fmt.Printf("%-14s %8s %8s  %s\n", "cohort", "BoostHD", "OnlineHD", "held-out subjects")
-	for _, group := range synth.TableIIIGroups() {
-		ids := synth.SelectSubjects(subjects, group)
-		if len(ids) == 0 || len(ids) == len(subjects) {
-			fmt.Printf("%-14s  (cohort empty or covers everyone — skipped)\n", group.Name)
+	// Hold out one representative wearer per Table III cohort: they never
+	// contribute to the shared base and arrive later as tenants.
+	heldOut, cohortOf := pickTenants(subjects)
+	fmt.Printf("held-out tenants: %v\n\n", heldOut)
+
+	train, pool, err := dataset.SplitBySubjects(data, heldOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One deployment normalizer, fit on the base training population and
+	// applied to every wearer's windows — exactly what a fielded device
+	// does; tenants do not get to refit it.
+	norm, err := boosthd.FitNormalizer(train.X, boosthd.ZScore)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rows := range [][][]float64{train.X, pool.X} {
+		if _, err := norm.Apply(rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("training shared base (BoostHD 8000-dim, 10 learners)...")
+	m, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(8000, 10, data.NumClasses))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The production stack: packed-binary serving engine, micro-batching
+	// server, tenant registry with a write-through delta store, and a
+	// per-tenant trainer — all behind the HTTP handler.
+	eng, err := boosthd.NewBinaryEngine(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := boosthd.NewServer(eng, boosthd.ServeConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	deltaDir, err := os.MkdirTemp("", "boosthd-tenants-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(deltaDir)
+	reg, err := boosthd.NewTenantRegistry(s, boosthd.TenantRegistryConfig{
+		Store: boosthd.FileDeltaStore{Dir: deltaDir},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tt, err := boosthd.NewTenantTrainer(reg, boosthd.TenantTrainerConfig{MinRetrain: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(boosthd.NewConfiguredServeHandler(s, boosthd.ServeHandlerConfig{
+		Tenants:       reg,
+		TenantTrainer: tt,
+	}))
+	defer srv.Close()
+
+	baseHash := tenantStats(srv.URL).BaseHash
+	fmt.Printf("serving at %s, base %s\n\n", srv.URL, baseHash[:16])
+
+	fmt.Printf("%-8s %-14s %7s %8s %8s %8s  %s\n",
+		"tenant", "cohort", "windows", "base", "adapted", "delta", "retrain")
+	for _, id := range heldOut {
+		tenant := fmt.Sprintf("subj-%02d", id)
+		adaptX, adaptY, evalX, evalY := subjectSplit(pool, id)
+
+		// Unpersonalized baseline: the shared model, no tenant header.
+		baseAcc := accuracy(predictBatch(srv.URL+"/predict_batch", evalX), evalY)
+
+		// Personalize: stream labeled adaptation windows into the tenant's
+		// private buffer, then refit the tenant's copy-on-write delta.
+		postJSON(srv.URL+"/t/"+tenant+"/observe",
+			map[string]any{"rows": adaptX, "labels": adaptY}, nil)
+		var report struct {
+			Swapped bool    `json:"swapped"`
+			Reason  string  `json:"reason"`
+			Mode    string  `json:"mode"`
+			Samples int     `json:"samples"`
+			TookMS  float64 `json:"took_ms"`
+		}
+		postJSON(srv.URL+"/t/"+tenant+"/retrain", map[string]any{}, &report)
+		note := fmt.Sprintf("%s, %d samples, %.0f ms", report.Mode, report.Samples, report.TookMS)
+		if !report.Swapped {
+			note = "skipped: " + report.Reason
+		}
+
+		tenantAcc := accuracy(predictBatch(srv.URL+"/t/"+tenant+"/predict_batch", evalX), evalY)
+		fmt.Printf("%-8s %-14s %7d %7.2f%% %7.2f%% %+7.2f%%  %s\n",
+			tenant, cohortOf[id], len(evalY), baseAcc*100, tenantAcc*100,
+			(tenantAcc-baseAcc)*100, note)
+	}
+
+	st := tenantStats(srv.URL)
+	fmt.Printf("\nisolation: base %s unchanged after %d personalizations (%v)\n",
+		st.BaseHash[:16], st.Residents, st.BaseHash == baseHash)
+	fmt.Printf("footprint: %d resident tenant views in %d bytes of delta state\n",
+		st.Residents, st.ResidentBytes)
+}
+
+// pickTenants holds out one subject per Table III cohort (first match not
+// already held out) and remembers which cohort nominated each.
+func pickTenants(subjects []synth.Subject) (ids []int, cohortOf map[int]string) {
+	cohortOf = map[int]string{}
+	for _, g := range synth.TableIIIGroups() {
+		for _, id := range synth.SelectSubjects(subjects, g) {
+			if _, taken := cohortOf[id]; !taken {
+				cohortOf[id] = g.Name
+				ids = append(ids, id)
+				break
+			}
+		}
+	}
+	return ids, cohortOf
+}
+
+// subjectSplit interleaves one subject's windows into adaptation (even
+// positions, the labeled stream the tenant observes) and evaluation (odd
+// positions, never shown to the trainer).
+func subjectSplit(pool *dataset.Dataset, subject int) (adaptX [][]float64, adaptY []int, evalX [][]float64, evalY []int) {
+	n := 0
+	for i, s := range pool.Subjects {
+		if s != subject {
 			continue
 		}
-		train, test, err := dataset.SplitBySubjects(data, ids)
-		if err != nil {
-			log.Fatal(err)
+		if n%2 == 0 {
+			adaptX = append(adaptX, pool.X[i])
+			adaptY = append(adaptY, pool.Y[i])
+		} else {
+			evalX = append(evalX, pool.X[i])
+			evalY = append(evalY, pool.Y[i])
 		}
-		// Private feature copies: normalization must not leak between
-		// cohort evaluations that share the underlying dataset rows.
-		for i, r := range train.X {
-			train.X[i] = append([]float64(nil), r...)
-		}
-		for i, r := range test.X {
-			test.X[i] = append([]float64(nil), r...)
-		}
-		norm, err := boosthd.FitNormalizer(train.X, boosthd.ZScore)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := norm.Apply(train.X); err != nil {
-			log.Fatal(err)
-		}
-		if _, err := norm.Apply(test.X); err != nil {
-			log.Fatal(err)
-		}
-
-		bm, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(8000, 10, data.NumClasses))
-		if err != nil {
-			log.Fatal(err)
-		}
-		bAcc, err := bm.Evaluate(test.X, test.Y)
-		if err != nil {
-			log.Fatal(err)
-		}
-		om, err := boosthd.Train(train.X, train.Y, boosthd.DefaultConfig(8000, 1, data.NumClasses))
-		if err != nil {
-			log.Fatal(err)
-		}
-		oAcc, err := om.Evaluate(test.X, test.Y)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-14s %7.2f%% %7.2f%%  %v\n", group.Name, bAcc*100, oAcc*100, ids)
+		n++
 	}
+	return adaptX, adaptY, evalX, evalY
+}
+
+func predictBatch(url string, rows [][]float64) []int {
+	var resp struct {
+		Labels []int `json:"labels"`
+	}
+	postJSON(url, map[string]any{"rows": rows}, &resp)
+	return resp.Labels
+}
+
+func tenantStats(base string) boosthd.TenantStats {
+	resp, err := http.Get(base + "/tenants")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st boosthd.TenantStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+func postJSON(url string, body any, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func accuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) || len(truth) == 0 {
+		log.Fatalf("accuracy: %d predictions vs %d labels", len(pred), len(truth))
+	}
+	hits := 0
+	for i, p := range pred {
+		if p == truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
 }

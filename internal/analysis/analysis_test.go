@@ -159,6 +159,7 @@ var benchKernels = map[string][]struct{ dir, fn string }{
 		{"internal/infer", "planeDistance4"},
 	},
 	"internal/infer.BenchmarkScoreEncodedFloat": {{"internal/boosthd", "segmentDots"}},
+	"internal/serve.BenchmarkTenantResolve":     {{"internal/serve", "Resolve"}},
 }
 
 // TestHotpathCoversBaselineKernels checks that every benchmark in the

@@ -1,0 +1,277 @@
+package boosthd
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"boosthd/internal/hdc"
+	"boosthd/internal/onlinehd"
+	"boosthd/internal/wire"
+)
+
+// Delta is a tenant's copy-on-write override set against a shared base
+// ensemble: replacement classifiers for the few learners refit on the
+// tenant's own data, plus (optionally) the tenant's private ensemble
+// weights. Boosting makes this the natural personalization unit — most
+// learners stay shared with the population base, so a tenant's resident
+// and persisted state is a handful of class memories instead of a full
+// model copy.
+//
+// A Delta is immutable once installed in a registry or saved: retrains
+// build a fresh Delta rather than mutating one that concurrent tenant
+// views may still be scoring through.
+type Delta struct {
+	// Learners maps a base learner index to the tenant's replacement
+	// classifier. Each replacement must match the base learner's segment
+	// geometry (Dim, Classes); its class memory is private to the tenant.
+	Learners map[int]*onlinehd.HVClassifier
+	// Alphas, when non-nil, are the tenant's private ensemble weights
+	// (one per base learner). nil inherits the base weights.
+	Alphas []float64
+}
+
+// Indexes returns the overridden learner indexes in ascending order —
+// the deterministic iteration order every consumer (quantization
+// overlays, wire records, signatures) walks the map in.
+func (d *Delta) Indexes() []int {
+	idx := make([]int, 0, len(d.Learners))
+	for i := range d.Learners {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// MemoryBytes estimates the delta's resident float memory: the overridden
+// class vectors plus the private alpha slice. This is the per-tenant cost
+// the multi-tenant registry reports against a full model copy.
+func (d *Delta) MemoryBytes() int {
+	total := 8 * len(d.Alphas)
+	for _, l := range d.Learners {
+		total += 8 * l.Dim * l.Classes
+	}
+	return total
+}
+
+// WithDelta returns a tenant view of the base ensemble: the encoder
+// stack, dimension partition, and every non-overridden learner are
+// shared with the base (no copies), overridden learners come from the
+// delta, and the alpha slice is private. The view scores bit-for-bit
+// identically to a fully materialized per-tenant model built by cloning
+// the base and refitting the same learners.
+//
+// Quarantine composition: when the base is a reliability-masked view,
+// its dimension masks carry over for the learners the tenant shares —
+// the tenant must not trust memory the scrubber condemned — while
+// overridden learners drop the mask (their memory is the tenant's own,
+// never the corrupted base planes). Likewise a base alpha of zero (a
+// quarantined or boosting-rejected learner) stays zero in the tenant
+// view unless the tenant overrides that learner: private alphas must
+// not resurrect a learner whose shared memory is untrusted.
+func (m *Model) WithDelta(d *Delta) (*Model, error) {
+	if d == nil {
+		return nil, fmt.Errorf("boosthd: with delta: nil delta")
+	}
+	if d.Alphas != nil && len(d.Alphas) != len(m.Learners) {
+		return nil, fmt.Errorf("boosthd: with delta: %d alphas for %d learners", len(d.Alphas), len(m.Learners))
+	}
+	learners := append([]*onlinehd.HVClassifier(nil), m.Learners...)
+	for i, l := range d.Learners {
+		if i < 0 || i >= len(learners) {
+			return nil, fmt.Errorf("boosthd: with delta: learner %d outside [0,%d)", i, len(learners))
+		}
+		if l == nil {
+			return nil, fmt.Errorf("boosthd: with delta: nil override for learner %d", i)
+		}
+		if l.Dim != m.Learners[i].Dim || l.Classes != m.Learners[i].Classes {
+			return nil, fmt.Errorf("boosthd: with delta: learner %d override is %dx%d, base is %dx%d",
+				i, l.Dim, l.Classes, m.Learners[i].Dim, m.Learners[i].Classes)
+		}
+		learners[i] = l
+	}
+	alphas := d.Alphas
+	if alphas == nil {
+		alphas = m.Alphas
+	}
+	v := &Model{Cfg: m.Cfg, Enc: m.Enc, Learners: learners,
+		Alphas: append([]float64(nil), alphas...),
+		segs:   m.segs, gamma: m.gamma, inputDim: m.inputDim}
+	for i := range v.Alphas {
+		if m.Alphas[i] == 0 {
+			if _, overridden := d.Learners[i]; !overridden {
+				v.Alphas[i] = 0
+			}
+		}
+	}
+	if m.dimMasks != nil {
+		masks := append([][]uint64(nil), m.dimMasks...)
+		for i := range d.Learners {
+			masks[i] = nil
+		}
+		v.dimMasks = masks
+	}
+	return v, nil
+}
+
+// FNV-64 constants for the base-model fingerprint fold.
+const (
+	fpOffset uint64 = 14695981039346656037
+	fpPrime  uint64 = 1099511628211
+)
+
+// Fingerprint folds the base model's identity — configuration geometry,
+// encoder parameters, and every learner's class-memory bits — into one
+// 64-bit FNV digest. Tenant delta records carry it so a delta trained
+// against one base is rejected loudly when replayed onto another.
+//
+// Alphas are deliberately excluded: a reliability quarantine (which
+// zeroes alphas in a masked view) or an alphas-only reweight must not
+// orphan every persisted tenant delta, and deltas that care about
+// weights carry their own. A full retrain moves the class memory and
+// therefore the fingerprint, which is exactly the invalidation the
+// registry wants.
+func (m *Model) Fingerprint() uint64 {
+	h := fpOffset
+	fold := func(w uint64) {
+		h ^= w
+		h *= fpPrime
+	}
+	fold(uint64(m.Cfg.TotalDim))
+	fold(uint64(m.Cfg.NumLearners))
+	fold(uint64(m.Cfg.Classes))
+	fold(uint64(int64(m.Cfg.Seed)))
+	fold(uint64(m.Cfg.Encoder))
+	fold(uint64(m.Cfg.Projection))
+	fold(math.Float64bits(m.Cfg.GammaSpread))
+	fold(math.Float64bits(m.gamma))
+	fold(uint64(m.inputDim))
+	for _, l := range m.Learners {
+		l.ReadClass(func(class []hdc.Vector, _ uint64) {
+			for _, cv := range class {
+				for _, x := range cv {
+					fold(math.Float64bits(x))
+				}
+			}
+		})
+	}
+	return h
+}
+
+// deltaWire is the gob payload of a tenant delta record. Unlike a full
+// ensemble checkpoint it carries no Config and no encoder parameters —
+// those belong to the base model the record's fingerprint pins — so a
+// fleet of tenants duplicates nothing but its actual overrides.
+type deltaWire struct {
+	Base    uint64 // fingerprint of the base model the delta was trained against
+	Tenant  string
+	Classes int
+	Indexes []int          // overridden learner indexes, ascending
+	Dims    []int          // overridden learners' segment widths, parallel to Indexes
+	Class   [][]hdc.Vector // overridden learners' class memory, parallel to Indexes
+	Alphas  []float64      // tenant alphas; nil inherits the base's
+}
+
+// SaveDelta writes a tenant delta record to w, framed under the BHDT
+// magic. Each overridden learner's class memory is deep-copied under its
+// read lock, so a save that overlaps a concurrent refit records a
+// consistent snapshot; the gob encode runs after every lock is released.
+func SaveDelta(w io.Writer, tenant string, d *Delta, baseFP uint64) error {
+	if d == nil {
+		return fmt.Errorf("boosthd: save delta: nil delta")
+	}
+	dw := deltaWire{Base: baseFP, Tenant: tenant, Indexes: d.Indexes()}
+	dw.Dims = make([]int, len(dw.Indexes))
+	dw.Class = make([][]hdc.Vector, len(dw.Indexes))
+	for k, i := range dw.Indexes {
+		l := d.Learners[i]
+		dw.Dims[k] = l.Dim
+		dw.Classes = l.Classes
+		l.ReadClass(func(class []hdc.Vector, _ uint64) {
+			cp := make([]hdc.Vector, len(class))
+			for c, cv := range class {
+				cp[c] = cv.Clone()
+			}
+			dw.Class[k] = cp
+		})
+	}
+	if d.Alphas != nil {
+		dw.Alphas = append([]float64(nil), d.Alphas...)
+	}
+	if err := wire.WriteHeaderVersion(w, wire.MagicTenant, wire.Version1); err != nil {
+		return fmt.Errorf("boosthd: save delta: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(&dw); err != nil {
+		return fmt.Errorf("boosthd: save delta: %w", err)
+	}
+	return nil
+}
+
+// ErrBaseMismatch marks a tenant delta record whose base fingerprint
+// does not match the serving base — the record was trained against a
+// different model. Registries match it to fall back to the shared base
+// (loudly, with counters) instead of failing the tenant's requests.
+var ErrBaseMismatch = errors.New("boosthd: delta trained against a different base model")
+
+// LoadDelta reconstructs a tenant delta record against base. baseFP is
+// the caller's cached base.Fingerprint(); a record carrying any other
+// fingerprint is rejected loudly — serving a delta trained against a
+// different base would silently blend incompatible memories, the one
+// failure mode a healthcare deployment must never absorb quietly.
+func LoadDelta(r io.Reader, base *Model, baseFP uint64) (string, *Delta, error) {
+	v, body, err := wire.ReadHeader(r, wire.MagicTenant)
+	if err != nil {
+		return "", nil, fmt.Errorf("boosthd: load delta: %w", err)
+	}
+	if v == 0 {
+		return "", nil, fmt.Errorf("boosthd: load delta: not a tenant delta record")
+	}
+	var dw deltaWire
+	if err := gob.NewDecoder(body).Decode(&dw); err != nil {
+		return "", nil, fmt.Errorf("boosthd: load delta: %w", err)
+	}
+	if dw.Base != baseFP {
+		return "", nil, fmt.Errorf("boosthd: load delta: record for base %016x, serving base is %016x: %w",
+			dw.Base, baseFP, ErrBaseMismatch)
+	}
+	if len(dw.Dims) != len(dw.Indexes) || len(dw.Class) != len(dw.Indexes) {
+		return "", nil, fmt.Errorf("boosthd: load delta: %d indexes, %d dims, %d class blocks",
+			len(dw.Indexes), len(dw.Dims), len(dw.Class))
+	}
+	if dw.Alphas != nil && len(dw.Alphas) != len(base.Learners) {
+		return "", nil, fmt.Errorf("boosthd: load delta: %d alphas for %d learners", len(dw.Alphas), len(base.Learners))
+	}
+	d := &Delta{Learners: make(map[int]*onlinehd.HVClassifier, len(dw.Indexes))}
+	prev := -1
+	for k, i := range dw.Indexes {
+		if i <= prev || i >= len(base.Learners) {
+			return "", nil, fmt.Errorf("boosthd: load delta: learner index %d invalid (prev %d, %d learners)",
+				i, prev, len(base.Learners))
+		}
+		prev = i
+		bl := base.Learners[i]
+		if dw.Dims[k] != bl.Dim || dw.Classes != bl.Classes {
+			return "", nil, fmt.Errorf("boosthd: load delta: learner %d is %dx%d, base is %dx%d",
+				i, dw.Dims[k], dw.Classes, bl.Dim, bl.Classes)
+		}
+		if len(dw.Class[k]) != bl.Classes {
+			return "", nil, fmt.Errorf("boosthd: load delta: learner %d carries %d class vectors, want %d",
+				i, len(dw.Class[k]), bl.Classes)
+		}
+		hv, err := onlinehd.NewHVClassifier(bl.Dim, bl.Classes, base.Cfg.LR)
+		if err != nil {
+			return "", nil, fmt.Errorf("boosthd: load delta: learner %d: %w", i, err)
+		}
+		if err := hv.SetClass(dw.Class[k]); err != nil {
+			return "", nil, fmt.Errorf("boosthd: load delta: learner %d: %w", i, err)
+		}
+		d.Learners[i] = hv
+	}
+	if dw.Alphas != nil {
+		d.Alphas = append([]float64(nil), dw.Alphas...)
+	}
+	return dw.Tenant, d, nil
+}

@@ -2,9 +2,11 @@ package boosthd
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"boosthd/internal/encoding"
 	"boosthd/internal/hdc"
@@ -14,11 +16,14 @@ import (
 
 // wireVersionFor picks the lowest header version whose feature set the
 // configuration needs: legacy stored-matrix configs stay at Version1 so
-// older builds keep reading them; seeded-encoder configs require
-// VersionSeeded so pre-seeded builds reject them loudly.
+// older builds keep reading them; seeded-encoder configs are framed at
+// VersionPacked — they already require a seeded-aware build, and their
+// checkpoint size is dominated by the class memories now that the
+// projection matrix is rematerialized, so they ship the flat packed
+// class block instead of gob's per-float encoding.
 func wireVersionFor(cfg Config) byte {
 	if cfg.Projection != encoding.ProjStored {
-		return wire.VersionSeeded
+		return wire.VersionPacked
 	}
 	return wire.Version1
 }
@@ -52,7 +57,62 @@ type ensembleWire struct {
 	InDim  int
 	Gamma  float64 // resolved base bandwidth used at training time
 	Alphas []float64
-	Class  [][]hdc.Vector // [learner][class]
+	Class  [][]hdc.Vector // [learner][class]; nil when Packed carries the memory
+	// Packed is the VersionPacked class-memory layout: every class
+	// vector's float64 bits little-endian, learner-major then
+	// class-major, with widths implied by the configuration's dimension
+	// partition. gob spends ~9 bytes per high-entropy float64 plus
+	// nested slice headers; the flat block spends exactly 8 per
+	// component — the bits are identical after load, only the framing
+	// shrinks. Exactly one of Class and Packed is populated.
+	Packed []byte
+}
+
+// packClass flattens the per-learner class memories into the Packed
+// layout; unpackClass reverses it against the expected geometry.
+func packClass(class [][]hdc.Vector) []byte {
+	n := 0
+	for _, lc := range class {
+		for _, cv := range lc {
+			n += 8 * len(cv)
+		}
+	}
+	out := make([]byte, n)
+	off := 0
+	for _, lc := range class {
+		for _, cv := range lc {
+			for _, x := range cv {
+				binary.LittleEndian.PutUint64(out[off:], math.Float64bits(x))
+				off += 8
+			}
+		}
+	}
+	return out
+}
+
+func unpackClass(packed []byte, segs []segment, classes int) ([][]hdc.Vector, error) {
+	n := 0
+	for _, s := range segs {
+		n += 8 * classes * (s.hi - s.lo)
+	}
+	if len(packed) != n {
+		return nil, fmt.Errorf("packed class block is %d bytes, geometry needs %d", len(packed), n)
+	}
+	class := make([][]hdc.Vector, len(segs))
+	off := 0
+	for i, s := range segs {
+		dim := s.hi - s.lo
+		class[i] = make([]hdc.Vector, classes)
+		for c := range class[i] {
+			cv := make(hdc.Vector, dim)
+			for j := range cv {
+				cv[j] = math.Float64frombits(binary.LittleEndian.Uint64(packed[off:]))
+				off += 8
+			}
+			class[i][c] = cv
+		}
+	}
+	return class, nil
 }
 
 // Save serializes the ensemble to w in framed gob format. Each learner's
@@ -78,7 +138,12 @@ func (m *Model) Save(w io.Writer) error {
 			ew.Class[i] = cp
 		})
 	}
-	if err := wire.WriteHeaderVersion(w, wire.MagicEnsemble, wireVersionFor(m.Cfg)); err != nil {
+	ver := wireVersionFor(m.Cfg)
+	if ver >= wire.VersionPacked {
+		ew.Packed = packClass(ew.Class)
+		ew.Class = nil
+	}
+	if err := wire.WriteHeaderVersion(w, wire.MagicEnsemble, ver); err != nil {
 		return fmt.Errorf("boosthd: save: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(&ew); err != nil {
@@ -144,6 +209,20 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	if err := CheckProjectionWire(v, cfg.Projection); err != nil {
 		return nil, fmt.Errorf("boosthd: load: %w", err)
+	}
+	if ew.Packed != nil {
+		if v < wire.VersionPacked {
+			return nil, fmt.Errorf("boosthd: load: packed class block framed at header version %d (need >= %d)",
+				v, wire.VersionPacked)
+		}
+		if ew.Class != nil {
+			return nil, fmt.Errorf("boosthd: load: checkpoint carries both packed and per-vector class memory")
+		}
+		class, err := unpackClass(ew.Packed, partition(cfg.TotalDim, cfg.NumLearners), cfg.Classes)
+		if err != nil {
+			return nil, fmt.Errorf("boosthd: load: %w", err)
+		}
+		ew.Class = class
 	}
 	if len(ew.Class) != cfg.NumLearners {
 		return nil, fmt.Errorf("boosthd: load: %d learner states for %d learners",

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/hdc"
+	"boosthd/internal/infer"
+	"boosthd/internal/onlinehd"
+	"boosthd/internal/serve"
+)
+
+// synthDeltaStore simulates a fleet-scale per-tenant checkpoint store
+// without materializing one file per tenant: every tenant's delta is
+// generated deterministically from its ID on Load (a perturbed copy of
+// the base's learners), so a million-tenant sweep costs only the
+// resident working set. Save drops the record — the sweep never needs
+// it back, and the write-through path is still exercised.
+type synthDeltaStore struct {
+	k int // overridden learners per tenant
+}
+
+func (s synthDeltaStore) Load(tenant string, base *boosthd.Model, baseFP uint64) (*boosthd.Delta, error) {
+	seed := int64(tenantSeed(tenant))
+	rng := rand.New(rand.NewSource(seed))
+	nl := len(base.Learners)
+	k := s.k
+	if k > nl {
+		k = nl
+	}
+	picked := rng.Perm(nl)[:k]
+	sort.Ints(picked)
+	d := &boosthd.Delta{Learners: make(map[int]*onlinehd.HVClassifier, k)}
+	for _, i := range picked {
+		bl := base.Learners[i]
+		var class []hdc.Vector
+		bl.ReadClass(func(cv []hdc.Vector, _ uint64) {
+			class = make([]hdc.Vector, len(cv))
+			for c, v := range cv {
+				class[c] = v.Clone()
+			}
+		})
+		// A small deterministic perturbation: the tenant's "personalized"
+		// memory differs from the base without retraining anything.
+		for _, v := range class {
+			for j := range v {
+				v[j] += 0.05 * rng.NormFloat64()
+			}
+		}
+		hv, err := onlinehd.NewHVClassifier(bl.Dim, bl.Classes, base.Cfg.LR)
+		if err != nil {
+			return nil, err
+		}
+		if err := hv.SetClass(class); err != nil {
+			return nil, err
+		}
+		d.Learners[i] = hv
+	}
+	return d, nil
+}
+
+func (s synthDeltaStore) Save(string, *boosthd.Delta, uint64) error { return nil }
+
+// tenantSeed folds a tenant ID into a deterministic seed (FNV-1a).
+func tenantSeed(tenant string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint32(tenant[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// tenantIDs labels the simulated fleet.
+func tenantIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("t%06d", i)
+	}
+	return ids
+}
+
+// materializeTenant builds the fully-copied per-tenant model the
+// copy-on-write view must match bit-for-bit: a deep clone of the base
+// with the delta's learners and alphas substituted in.
+func materializeTenant(base *boosthd.Model, d *boosthd.Delta) (*boosthd.Model, error) {
+	m := base.Clone()
+	for i, l := range d.Learners {
+		var class []hdc.Vector
+		l.ReadClass(func(cv []hdc.Vector, _ uint64) {
+			class = make([]hdc.Vector, len(cv))
+			for c, v := range cv {
+				class[c] = v.Clone()
+			}
+		})
+		if err := m.Learners[i].SetClass(class); err != nil {
+			return nil, err
+		}
+	}
+	if d.Alphas != nil {
+		m.Alphas = append([]float64(nil), d.Alphas...)
+	}
+	return m, nil
+}
+
+// RunTenants produces the multi-tenant serving table: a simulated fleet
+// of tenants (10k quick, 1M at -full) multiplexed over one shared base
+// model through the tenant registry, swept under uniform and zipf-skewed
+// active-set distributions. Reported per cell: sustained resolve+predict
+// throughput with latency percentiles, the cache hit rate, and resident
+// delta bytes per tenant against a full per-tenant model copy — the
+// memory multiplier that makes one-process-per-tenant unaffordable and
+// copy-on-write deltas the fleet-scale alternative. Before the sweep,
+// tenant views are spot-checked bit-for-bit against fully materialized
+// per-tenant models on both backends.
+func RunTenants(opt Options) (*Table, error) {
+	q := opt.quality()
+	hdDim, nl := q.HDDim, q.NL
+	if opt.Quick && opt.HDDimOverride <= 0 {
+		hdDim = 2000
+	}
+	cfg0 := opt.wesadConfig()
+	if opt.Quick {
+		cfg0.NumSubjects = 10
+		cfg0.SamplesPerState = 768
+	}
+	sp, err := prepare(opt.applyOverrides(cfg0), opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := boosthd.DefaultConfig(hdDim, nl, sp.numClasses)
+	cfg.Epochs = 3
+	if !opt.Quick {
+		cfg.Epochs = q.HDEpochs
+	}
+	cfg.Seed = opt.Seed
+	base, err := boosthd.Train(sp.train.X, sp.train.Y, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	store := synthDeltaStore{k: 2}
+
+	// Bit-for-bit gate: a copy-on-write tenant view must predict exactly
+	// like the fully materialized per-tenant model, on both backends,
+	// before any throughput number means anything.
+	probeRows := sp.test.X
+	if len(probeRows) > 256 {
+		probeRows = probeRows[:256]
+	}
+	baseFloat := infer.NewEngine(base)
+	baseBin, err := infer.NewBinaryEngine(base)
+	if err != nil {
+		return nil, err
+	}
+	baseFP := base.Fingerprint()
+	for _, tid := range []string{"t000000", "t000007", "t004242"} {
+		d, err := store.Load(tid, base, baseFP)
+		if err != nil {
+			return nil, err
+		}
+		mat, err := materializeTenant(base, d)
+		if err != nil {
+			return nil, err
+		}
+		matBin, err := infer.NewBinaryEngine(mat)
+		if err != nil {
+			return nil, err
+		}
+		viewFloat, err := baseFloat.WithDelta(d)
+		if err != nil {
+			return nil, err
+		}
+		viewBin, err := baseBin.WithDelta(d)
+		if err != nil {
+			return nil, err
+		}
+		for r, x := range probeRows {
+			wantF, err := mat.Predict(x)
+			if err != nil {
+				return nil, err
+			}
+			gotF, err := viewFloat.Predict(x)
+			if err != nil {
+				return nil, err
+			}
+			if gotF != wantF {
+				return nil, fmt.Errorf("experiments: tenant %s row %d: float view predicts %d, materialized model %d",
+					tid, r, gotF, wantF)
+			}
+			wantB, err := matBin.Predict(x)
+			if err != nil {
+				return nil, err
+			}
+			gotB, err := viewBin.Predict(x)
+			if err != nil {
+				return nil, err
+			}
+			if gotB != wantB {
+				return nil, fmt.Errorf("experiments: tenant %s row %d: binary view predicts %d, fully re-quantized model %d",
+					tid, r, gotB, wantB)
+			}
+		}
+	}
+
+	numTenants := 1_000_000
+	cacheSize := 4096
+	clients := 8
+	dur := time.Second
+	if opt.Quick {
+		numTenants = 10_000
+		cacheSize = 512
+		dur = 300 * time.Millisecond
+	}
+	ids := tenantIDs(numTenants)
+	// What one-process-per-tenant would pay: the class memory plus the
+	// encoder state (the projection is the dominant term for stored
+	// projections), both of which every tenant view shares instead.
+	fullCopyBytes := 8*base.Cfg.TotalDim*base.Cfg.Classes + base.EncoderStateBytes()
+
+	t := &Table{
+		Title: fmt.Sprintf("Multi-tenant serving: %d tenants over one base (Dtotal=%d NL=%d, cache %d views, %d clients) on %s",
+			numTenants, hdDim, nl, cacheSize, clients, sp.name),
+		Header: []string{"skew", "req/s", "p50 ms", "p99 ms", "hit rate", "cold loads", "B/tenant resident", "full copy B", "copy ratio"},
+	}
+
+	type skew struct {
+		name string
+		next func(rng *rand.Rand) int
+	}
+	skews := []skew{
+		{"uniform", func(rng *rand.Rand) int { return rng.Intn(numTenants) }},
+	}
+	{
+		// Zipf-skewed active set: a small head of tenants dominates
+		// traffic — the distribution an LRU of resident views exists for.
+		mk := func(rng *rand.Rand) func(*rand.Rand) int {
+			z := rand.NewZipf(rng, 1.2, 1, uint64(numTenants-1))
+			var mu sync.Mutex
+			return func(*rand.Rand) int {
+				mu.Lock()
+				v := int(z.Uint64())
+				mu.Unlock()
+				return v
+			}
+		}
+		skews = append(skews, skew{"zipf(1.2)", mk(rand.New(rand.NewSource(opt.Seed + 11)))})
+	}
+
+	var lastStats serve.TenantStats
+	for _, sk := range skews {
+		srv, err := serve.NewServer(infer.NewEngine(base), serve.Config{})
+		if err != nil {
+			return nil, err
+		}
+		reg, err := serve.NewTenantRegistry(srv, serve.TenantRegistryConfig{
+			Store:     store,
+			CacheSize: cacheSize,
+		})
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		res, err := runTenantLoad(reg, ids, sp.test.X, clients, dur, opt.Seed, sk.next)
+		st := reg.Stats()
+		srv.Close()
+		if err != nil {
+			return nil, err
+		}
+		hitRate := float64(st.Hits) / float64(st.Hits+st.Misses)
+		perTenant := float64(st.ResidentBytes) / float64(maxInt(st.Residents, 1))
+		ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()*1e3) }
+		t.AddRow(sk.name,
+			fmt.Sprintf("%.0f", res.throughput), ms(res.p50), ms(res.p99),
+			fmt.Sprintf("%.1f%%", 100*hitRate),
+			fmt.Sprint(st.ColdLoads),
+			fmt.Sprintf("%.0f", perTenant),
+			fmt.Sprint(fullCopyBytes),
+			fmt.Sprintf("%.1fx smaller", float64(fullCopyBytes)/perTenant))
+		lastStats = st
+	}
+	t.AddNote("delta views share the base's encoder, planes, and non-overridden learners; resident cost is %d overridden learners/tenant (%.0f B) vs a %d B full model copy (class memory + encoder state)",
+		store.k, float64(lastStats.ResidentBytes)/float64(maxInt(lastStats.Residents, 1)), fullCopyBytes)
+	t.AddNote("views spot-checked bit-for-bit against fully materialized per-tenant models on the float and packed-binary backends")
+	return t, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runTenantLoad hammers Resolve+Predict with `clients` goroutines drawing
+// tenant IDs from the given skew for roughly dur, reporting sustained
+// throughput and latency percentiles over the combined resolve+score
+// path (the tenant HTTP handlers' exact sequence).
+func runTenantLoad(reg *serve.TenantRegistry, ids []string, rows [][]float64, clients int, dur time.Duration, seed int64, next func(*rand.Rand) int) (serveLoadResult, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr error
+	)
+	stop := make(chan struct{})
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			local := make([]time.Duration, 0, 4096)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					mu.Lock()
+					lats = append(lats, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				t0 := time.Now()
+				eng, err := reg.Resolve(ids[next(rng)])
+				if err == nil {
+					_, err = eng.Predict(rows[(c*31+i)%len(rows)])
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					lats = append(lats, local...)
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+		}(c)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return serveLoadResult{}, firstErr
+	}
+	if len(lats) == 0 {
+		return serveLoadResult{}, fmt.Errorf("experiments: no tenant requests completed")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+	return serveLoadResult{
+		throughput: float64(len(lats)) / elapsed.Seconds(),
+		p50:        pct(0.50),
+		p99:        pct(0.99),
+	}, nil
+}

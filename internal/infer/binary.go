@@ -703,6 +703,63 @@ func (bm *BinaryModel) withView(view *boosthd.Model, healthy [][]uint64) (*Binar
 	return out, nil
 }
 
+// WithDelta returns a BinaryModel serving a tenant view: the quantized
+// snapshot is the base's with only the overridden learners' planes
+// re-thresholded from the delta's float class memory, so a fleet of
+// tenant views shares every base learner's packed planes and pays
+// quantization (and memory) only for its own overrides. Because
+// quantizeLearner is deterministic in the class vectors, the overlay is
+// bit-for-bit the snapshot a full per-tenant re-quantization would
+// build. view is the float-side tenant view (boosthd.Model.WithDelta
+// over this model's base); overridden lists the delta's learner indexes.
+//
+// The overlay works over a frozen base too: the base learners' planes
+// carry over untouched (no float memory needed), and the overridden
+// learners quantize from the delta's own float memory.
+func (bm *BinaryModel) WithDelta(view *boosthd.Model, overridden []int) (*BinaryModel, error) {
+	if len(view.Learners) != len(bm.segDims) {
+		return nil, fmt.Errorf("infer: with delta: view has %d learners, snapshot has %d",
+			len(view.Learners), len(bm.segDims))
+	}
+	for _, i := range overridden {
+		if i < 0 || i >= len(bm.segDims) {
+			return nil, fmt.Errorf("infer: with delta: learner %d outside [0,%d)", i, len(bm.segDims))
+		}
+		if view.Learners[i].Dim != bm.segDims[i] {
+			return nil, fmt.Errorf("infer: with delta: learner %d override dim %d, snapshot dim %d",
+				i, view.Learners[i].Dim, bm.segDims[i])
+		}
+	}
+	out := &BinaryModel{model: view, segDims: bm.segDims, frozen: bm.frozen}
+	if bm.dimMasks != nil {
+		// Quarantine composition mirrors the float view: shared learners
+		// keep the base's dimension masks, overridden learners drop them —
+		// their planes quantize from the tenant's own memory, never the
+		// condemned base words.
+		masks := append([][]uint64(nil), bm.dimMasks...)
+		for _, i := range overridden {
+			masks[i] = nil
+		}
+		out.dimMasks = masks
+	}
+	prev := bm.snap.Load()
+	qz := &quantization{
+		class:    append([][]*hdc.BitVector(nil), prev.class...),
+		mask:     append([][]*hdc.BitVector(nil), prev.mask...),
+		maskOnes: append([][]float64(nil), prev.maskOnes...),
+		versions: append([]uint64(nil), prev.versions...),
+		planes:   append([][]uint64(nil), prev.planes...),
+	}
+	for _, i := range overridden {
+		view.Learners[i].ReadClass(func(class []hdc.Vector, version uint64) {
+			qz.versions[i] = version
+			qz.quantizeLearner(i, class)
+		})
+	}
+	out.snap.Store(qz)
+	return out, nil
+}
+
 // ApplyWordRepair runs fn over a deep copy of every (learner, class)
 // pair's sign and mask words and atomically swaps the transformed planes
 // in — the write-side complement of ReadPlanes, for storage-level

@@ -1,0 +1,28 @@
+package infer
+
+import (
+	"fmt"
+
+	"boosthd/internal/boosthd"
+)
+
+// WithDelta returns the tenant engine for d over this engine's model:
+// the float view shares the encoder stack and every non-overridden
+// learner, and a packed-binary engine additionally shares the base's
+// quantized planes, quantizing only the delta's overrides. Predictions
+// are bit-for-bit identical to an engine built over a fully materialized
+// per-tenant model on both backends.
+func (e *Engine) WithDelta(d *boosthd.Delta) (*Engine, error) {
+	view, err := e.model.WithDelta(d)
+	if err != nil {
+		return nil, fmt.Errorf("infer: with delta: %w", err)
+	}
+	if e.backend == PackedBinary {
+		bin, err := e.bin.WithDelta(view, d.Indexes())
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{model: view, backend: PackedBinary, bin: bin}, nil
+	}
+	return &Engine{model: view, backend: Float}, nil
+}

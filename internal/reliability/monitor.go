@@ -101,6 +101,14 @@ type Config struct {
 	// keeps integrity scrubbing strict under live training, where
 	// TrustVersioned would wave every mutation through.
 	SignedUpdates bool
+	// StatePath, when set, persists the health ledger — per-learner fault
+	// counters, canary baselines, and segment-criticality baselines —
+	// after every scrub and repair pass, so a restart resumes the fault
+	// history instead of starting blind. Restore it with LoadState (after
+	// SetCanary, so the persisted baselines win over freshly recomputed
+	// ones). Writes are atomic; a failed write is recorded in Status's
+	// LastError rather than failing the pass.
+	StatePath string
 	// TrustVersioned treats a learner whose version counter advanced
 	// since signing as legitimately mutated (streaming online updates,
 	// in-place fits): it is re-signed instead of flagged. Prefer
@@ -687,6 +695,9 @@ func (mo *Monitor) NoteMutation(learners []int) {
 func (mo *Monitor) Scrub() (ScrubReport, error) {
 	mo.passMu.Lock()
 	defer mo.passMu.Unlock()
+	// Registered before the state lock's defer, so it runs after mu is
+	// released: the durable ledger snapshot reflects this pass's verdicts.
+	defer mo.persistState()
 	start := time.Now()
 	report := ScrubReport{}
 	defer func() {
@@ -1019,6 +1030,9 @@ func (mo *Monitor) installMaskLocked() (bool, error) {
 func (mo *Monitor) Repair() (RepairReport, error) {
 	mo.passMu.Lock()
 	defer mo.passMu.Unlock()
+	// Runs after mu's deferred unlock (LIFO), so the durable ledger
+	// snapshot includes this pass's repair counts.
+	defer mo.persistState()
 	mo.mu.Lock()
 	defer mo.mu.Unlock()
 	start := time.Now()

@@ -90,6 +90,48 @@ func BenchmarkServeBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkTenantResolve pins the tenant hot path: a resident cache hit
+// is one map lookup and one LRU splice under the registry lock, with no
+// allocation — the per-request overhead every tenant-routed predict pays
+// on top of the engine call.
+func BenchmarkTenantResolve(b *testing.B) {
+	benchSetup(b)
+	eng := benchEng["binary"]
+	s, err := NewServer(eng, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	reg, err := NewTenantRegistry(s, TenantRegistryConfig{
+		Store:     FileDeltaStore{Dir: b.TempDir()},
+		CacheSize: 1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := eng.Model()
+	const tenants = 256
+	ids := make([]string, tenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%03d", i)
+		if err := reg.Install(ids[i], testDelta(b, m, []int{i % len(m.Learners)}, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := reg.Resolve(ids[i%tenants]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkServeEngineBatchSizes pins the amortization curve of the
 // binary engine's batch kernel — the per-row cost the batcher rides as
 // coalesced batches grow.

@@ -54,6 +54,25 @@ type RetrainReport struct {
 	TookMS  float64 `json:"took_ms"`
 }
 
+// TenantTrainer is the per-tenant continual-learning hook: labeled
+// samples flow into a tenant's private buffer through ObserveTenant, and
+// RetrainTenant refits only that tenant's delta learners — never the
+// shared base, never another tenant's state. internal/trainer provides
+// the implementation; the interface lives here so the transport layer
+// does not depend on it.
+type TenantTrainer interface {
+	// ObserveTenant buffers one labeled sample for the tenant.
+	// Validation failures wrap ErrBadInput.
+	ObserveTenant(tenant string, x []float64, label int) error
+	// ObserveTenantBatch buffers a labeled batch all-or-nothing.
+	ObserveTenantBatch(tenant string, X [][]float64, y []int) error
+	// RetrainTenant refits the tenant's worst base learners on the
+	// tenant's buffer and installs the resulting delta in the registry.
+	// A retrain that cannot run yet reports Swapped=false with the
+	// reason rather than an error.
+	RetrainTenant(tenant string) (RetrainReport, error)
+}
+
 // Chaos is the fault-injection hook behind the opt-in /inject drill
 // endpoint: it flips bits of the live serving memory under the given
 // per-bit probability and reports how many flipped. Implementations
@@ -140,6 +159,16 @@ type HandlerConfig struct {
 	CheckpointDir string
 	// Trainer enables /observe and /retrain when non-nil.
 	Trainer Trainer
+	// Tenants enables tenant-multiplexed serving when non-nil: requests
+	// carrying a tenant — the X-Tenant header, or the /t/{tenant}/...
+	// path form — resolve through the registry to the tenant's engine
+	// view, and GET /tenants exposes the registry stats. Tenant
+	// predictions go straight to the tenant engine's batch pipeline,
+	// bypassing the cross-tenant micro-batcher.
+	Tenants *TenantRegistry
+	// TenantTrainer routes tenant-scoped /observe and /retrain to
+	// per-tenant isolation when non-nil. Requires Tenants.
+	TenantTrainer TenantTrainer
 	// Reliability enables /reliability and the healthz reliability block
 	// when non-nil.
 	Reliability Reliability
@@ -213,12 +242,87 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("/observe", h.observe)
 	mux.HandleFunc("/retrain", h.retrain)
 	mux.HandleFunc("/inject", h.inject)
+	mux.HandleFunc("/tenants", h.tenants)
+	mux.HandleFunc("/t/", h.tenantRoute)
 	return mux
 }
 
 type handler struct {
 	s   *Server
 	cfg HandlerConfig
+}
+
+// tenantOf extracts the request's tenant ID (the X-Tenant header; the
+// /t/{tenant}/... path form is rewritten into the header by tenantRoute).
+// Empty means the shared base model.
+func tenantOf(r *http.Request) string { return r.Header.Get("X-Tenant") }
+
+// tenantEngine resolves the request's tenant to its serving engine,
+// answering the HTTP error itself (and returning nil) on failure.
+func (h *handler) tenantEngine(w http.ResponseWriter, tenant string) *infer.Engine {
+	if h.cfg.Tenants == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no tenant registry configured"))
+		return nil
+	}
+	eng, err := h.cfg.Tenants.Resolve(tenant)
+	if err != nil {
+		httpError(w, predictStatus(err), err)
+		return nil
+	}
+	return eng
+}
+
+// tenantRoute dispatches the /t/{tenant}/{op} path form: the tenant is
+// validated, folded into the X-Tenant header (a conflicting header is a
+// client bug, answered 400), and the op handled by the same handlers the
+// header form uses.
+func (h *handler) tenantRoute(w http.ResponseWriter, r *http.Request) {
+	if h.cfg.Tenants == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no tenant registry configured"))
+		return
+	}
+	tenant, op, ok := strings.Cut(strings.TrimPrefix(r.URL.Path, "/t/"), "/")
+	if !ok || op == "" {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: tenant routes are /t/{tenant}/{predict,predict_batch,observe,retrain}"))
+		return
+	}
+	if err := ValidTenantID(tenant); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if hdr := tenantOf(r); hdr != "" && hdr != tenant {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: X-Tenant header %q conflicts with path tenant %q", ErrBadInput, hdr, tenant))
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.Header.Set("X-Tenant", tenant)
+	switch op {
+	case "predict":
+		h.predict(w, r2)
+	case "predict_batch":
+		h.predictBatch(w, r2)
+	case "observe":
+		h.observe(w, r2)
+	case "retrain":
+		h.retrain(w, r2)
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown tenant op %q", op))
+	}
+}
+
+// tenants answers the tenant-registry stats: residents, cache traffic,
+// per-tenant resident bytes, and the base identity tenant views are
+// pinned to.
+func (h *handler) tenants(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodGet) {
+		return
+	}
+	if h.cfg.Tenants == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no tenant registry configured"))
+		return
+	}
+	writeJSON(w, h.cfg.Tenants.Stats())
 }
 
 func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
@@ -229,6 +333,24 @@ func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
 		Features []float64 `json:"features"`
 	}
 	if !h.decodeJSON(w, r, &req) {
+		return
+	}
+	if tenant := tenantOf(r); tenant != "" {
+		eng := h.tenantEngine(w, tenant)
+		if eng == nil {
+			return
+		}
+		if want := eng.InputDim(); len(req.Features) != want {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: feature length %d, model expects %d", ErrBadInput, len(req.Features), want))
+			return
+		}
+		label, err := eng.Predict(req.Features)
+		if err != nil {
+			httpError(w, predictStatus(err), err)
+			return
+		}
+		writeJSON(w, map[string]int{"label": label})
 		return
 	}
 	label, err := h.s.Predict(req.Features)
@@ -252,7 +374,17 @@ func (h *handler) predictBatch(w http.ResponseWriter, r *http.Request) {
 	if !h.checkRowCap(w, len(req.Rows)) {
 		return
 	}
+	tenant := tenantOf(r)
+	var eng *infer.Engine
+	if tenant != "" {
+		if eng = h.tenantEngine(w, tenant); eng == nil {
+			return
+		}
+	}
 	want := h.s.Engine().InputDim()
+	if eng != nil {
+		want = eng.InputDim()
+	}
 	for i, row := range req.Rows {
 		if len(row) != want {
 			httpError(w, http.StatusBadRequest,
@@ -260,7 +392,13 @@ func (h *handler) predictBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	labels, err := h.s.PredictBatch(req.Rows)
+	var labels []int
+	var err error
+	if eng != nil {
+		labels, err = eng.PredictBatch(req.Rows)
+	} else {
+		labels, err = h.s.PredictBatch(req.Rows)
+	}
 	if err != nil {
 		httpError(w, predictStatus(err), err)
 		return
@@ -295,6 +433,17 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.cfg.Trainer != nil {
 		resp["trainer"] = h.cfg.Trainer.Status()
+	}
+	if h.cfg.Tenants != nil {
+		tst := h.cfg.Tenants.Stats()
+		resp["tenants"] = map[string]any{
+			"residents":      tst.Residents,
+			"resident_bytes": tst.ResidentBytes,
+			"hits":           tst.Hits,
+			"misses":         tst.Misses,
+			"cold_loads":     tst.ColdLoads,
+			"base_hash":      tst.BaseHash,
+		}
 	}
 	if h.cfg.Reliability != nil {
 		rst := h.cfg.Reliability.Status()
@@ -378,8 +527,13 @@ func (h *handler) observe(w http.ResponseWriter, r *http.Request) {
 	if !wantMethod(w, r, http.MethodPost) || !h.authorized(w, r) {
 		return
 	}
-	if h.cfg.Trainer == nil {
+	tenant := tenantOf(r)
+	if tenant == "" && h.cfg.Trainer == nil {
 		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no trainer configured"))
+		return
+	}
+	if tenant != "" && h.cfg.TenantTrainer == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no tenant trainer configured"))
 		return
 	}
 	var req struct {
@@ -398,6 +552,14 @@ func (h *handler) observe(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%w: observe takes features+label or rows+labels, not both", ErrBadInput))
 		return
 	}
+	// Tenant observations land in the tenant's private buffer only;
+	// base observations feed the shared trainer (and its online updates).
+	observe := func(x []float64, label int) error { return h.cfg.Trainer.Observe(x, label) }
+	observeBatch := func(X [][]float64, y []int) error { return h.cfg.Trainer.ObserveBatch(X, y) }
+	if tenant != "" {
+		observe = func(x []float64, label int) error { return h.cfg.TenantTrainer.ObserveTenant(tenant, x, label) }
+		observeBatch = func(X [][]float64, y []int) error { return h.cfg.TenantTrainer.ObserveTenantBatch(tenant, X, y) }
+	}
 	accepted := 0
 	switch {
 	case req.Features != nil:
@@ -405,7 +567,7 @@ func (h *handler) observe(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("%w: observe needs a label", ErrBadInput))
 			return
 		}
-		if err := h.cfg.Trainer.Observe(req.Features, *req.Label); err != nil {
+		if err := observe(req.Features, *req.Label); err != nil {
 			httpError(w, predictStatus(err), err)
 			return
 		}
@@ -417,7 +579,7 @@ func (h *handler) observe(w http.ResponseWriter, r *http.Request) {
 		// All-or-nothing: a bad row mid-batch must not leave half the
 		// batch buffered (and half the online updates applied) behind a
 		// 400 — the client's natural retry would double-ingest the rest.
-		if err := h.cfg.Trainer.ObserveBatch(req.Rows, req.Labels); err != nil {
+		if err := observeBatch(req.Rows, req.Labels); err != nil {
 			httpError(w, predictStatus(err), err)
 			return
 		}
@@ -427,19 +589,29 @@ func (h *handler) observe(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%w: observe needs features+label or rows+labels", ErrBadInput))
 		return
 	}
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"status":   "ok",
 		"accepted": accepted,
-		"trainer":  h.cfg.Trainer.Status(),
-	})
+	}
+	if tenant != "" {
+		resp["tenant"] = tenant
+	} else {
+		resp["trainer"] = h.cfg.Trainer.Status()
+	}
+	writeJSON(w, resp)
 }
 
 func (h *handler) retrain(w http.ResponseWriter, r *http.Request) {
 	if !wantMethod(w, r, http.MethodPost) || !h.authorized(w, r) {
 		return
 	}
-	if h.cfg.Trainer == nil {
+	tenant := tenantOf(r)
+	if tenant == "" && h.cfg.Trainer == nil {
 		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no trainer configured"))
+		return
+	}
+	if tenant != "" && h.cfg.TenantTrainer == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: no tenant trainer configured"))
 		return
 	}
 	// A full refit over the buffer can legitimately outlive the
@@ -448,7 +620,17 @@ func (h *handler) retrain(w http.ResponseWriter, r *http.Request) {
 	// succeeds anyway, inviting a duplicate retry behind the retrain
 	// lock. Lift the deadline for this response only.
 	liftWriteDeadline(w)
-	report, err := h.cfg.Trainer.Retrain()
+	var (
+		report RetrainReport
+		err    error
+	)
+	if tenant != "" {
+		// Tenant refits touch only that tenant's delta: the shared base and
+		// every other tenant's view are unchanged by construction.
+		report, err = h.cfg.TenantTrainer.RetrainTenant(tenant)
+	} else {
+		report, err = h.cfg.Trainer.Retrain()
+	}
 	if err != nil {
 		code := predictStatus(err)
 		if errors.Is(err, ErrBusy) {

@@ -47,6 +47,22 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		counter("boosthd_trainer_retrain_failures_total", "Retrains that errored.", float64(tst.RetrainFailures))
 	}
 
+	if h.cfg.Tenants != nil {
+		tst := h.cfg.Tenants.Stats()
+		gauge("boosthd_tenant_residents", "Cached tenants holding a copy-on-write delta.", float64(tst.Residents))
+		gauge("boosthd_tenant_cached", "All cached tenant entries (including base passthroughs).", float64(tst.Cached))
+		gauge("boosthd_tenant_cache_capacity", "LRU bound on cached tenant entries.", float64(tst.Capacity))
+		gauge("boosthd_tenant_resident_bytes", "Delta float memory resident across cached tenants.", float64(tst.ResidentBytes))
+		counter("boosthd_tenant_hits_total", "Tenant resolutions served from the cache.", float64(tst.Hits))
+		counter("boosthd_tenant_misses_total", "Tenant resolutions that missed the cache.", float64(tst.Misses))
+		counter("boosthd_tenant_cold_loads_total", "Tenant deltas loaded from the checkpoint store.", float64(tst.ColdLoads))
+		counter("boosthd_tenant_evictions_total", "Tenant entries evicted by the LRU bound.", float64(tst.Evictions))
+		counter("boosthd_tenant_base_mismatches_total", "Tenant delta records rejected for a base fingerprint mismatch.", float64(tst.Mismatches))
+		counter("boosthd_tenant_rebuilds_total", "Resident tenant views rebuilt after a base swap.", float64(tst.Rebuilds))
+		counter("boosthd_tenant_corruptions_total", "Resident tenant deltas failing their scrub signature.", float64(tst.Corruptions))
+		counter("boosthd_tenant_scrubs_total", "Tenant delta scrub passes completed.", float64(tst.Scrubs))
+	}
+
 	if h.cfg.Reliability != nil {
 		rst := h.cfg.Reliability.Status()
 		degraded := 0.0

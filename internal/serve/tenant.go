@@ -1,0 +1,625 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"boosthd/internal/boosthd"
+	"boosthd/internal/hdc"
+	"boosthd/internal/infer"
+)
+
+// ErrNoDelta is returned by a DeltaStore whose tenant has no persisted
+// delta — the tenant serves the shared base model. It is the registry's
+// cheap, expected miss, not a fault.
+var ErrNoDelta = errors.New("serve: tenant has no delta")
+
+// DeltaStore is the per-tenant checkpoint store behind the registry's
+// LRU: cold loads come from it, and every installed delta is written
+// through so eviction can always drop a resident view without losing
+// tenant state. Implementations must be safe for concurrent use.
+type DeltaStore interface {
+	// Load reconstructs tenant's delta against base (whose cached
+	// fingerprint is baseFP). ErrNoDelta means the tenant has none;
+	// boosthd.ErrBaseMismatch means a record exists but was trained
+	// against a different base.
+	Load(tenant string, base *boosthd.Model, baseFP uint64) (*boosthd.Delta, error)
+	// Save persists tenant's delta keyed to baseFP.
+	Save(tenant string, d *boosthd.Delta, baseFP uint64) error
+}
+
+// FileDeltaStore persists one BHDT record per tenant under a directory,
+// named <tenant>.bhdt. Tenant IDs are validated by the registry before
+// they reach the store, so the name can never traverse out of the root.
+type FileDeltaStore struct {
+	Dir string
+}
+
+func (fs FileDeltaStore) path(tenant string) string {
+	return filepath.Join(fs.Dir, tenant+".bhdt")
+}
+
+// Load implements DeltaStore.
+func (fs FileDeltaStore) Load(tenant string, base *boosthd.Model, baseFP uint64) (*boosthd.Delta, error) {
+	f, err := os.Open(fs.path(tenant))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoDelta
+		}
+		return nil, fmt.Errorf("serve: tenant %s: %w", tenant, err)
+	}
+	defer f.Close()
+	stored, d, err := boosthd.LoadDelta(f, base, baseFP)
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenant %s: %w", tenant, err)
+	}
+	if stored != tenant {
+		return nil, fmt.Errorf("serve: tenant %s: record names tenant %q; store corrupted or misfiled", tenant, stored)
+	}
+	return d, nil
+}
+
+// Save implements DeltaStore: write to a temp file, fsync-free rename —
+// a crashed save leaves the previous record intact, never a torn one.
+func (fs FileDeltaStore) Save(tenant string, d *boosthd.Delta, baseFP uint64) error {
+	tmp, err := os.CreateTemp(fs.Dir, tenant+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: tenant %s: %w", tenant, err)
+	}
+	if err := boosthd.SaveDelta(tmp, tenant, d, baseFP); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: tenant %s: %w", tenant, err)
+	}
+	if err := os.Rename(tmp.Name(), fs.path(tenant)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: tenant %s: %w", tenant, err)
+	}
+	return nil
+}
+
+// ValidTenantID enforces the tenant-ID character set shared by the HTTP
+// routes and the file store: 1-128 chars of [A-Za-z0-9._-], not starting
+// with a dot. The set is deliberately filename- and URL-safe, so an ID
+// can never traverse the delta directory or smuggle path separators.
+func ValidTenantID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("%w: tenant id must be 1-128 characters", ErrBadInput)
+	}
+	if id[0] == '.' {
+		return fmt.Errorf("%w: tenant id %q starts with a dot", ErrBadInput, id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("%w: tenant id %q contains %q (allowed: A-Za-z0-9._-)", ErrBadInput, id, c)
+		}
+	}
+	return nil
+}
+
+// tenantEntry is one cached tenant in the registry's LRU.
+type tenantEntry struct {
+	id    string
+	delta *boosthd.Delta // nil: tenant serves the shared base
+	eng   *infer.Engine  // tenant view (or the base engine when delta is nil)
+	sig   uint64         // FNV fold over the delta memory, for scrubbing
+	gen   uint64         // base generation the view was built over
+	fp    uint64         // base fingerprint the delta is persisted under
+	bytes int            // resident delta bytes (0 for base passthrough)
+}
+
+// TenantRegistryConfig tunes the registry.
+type TenantRegistryConfig struct {
+	// Store is the per-tenant checkpoint store. Required.
+	Store DeltaStore
+	// CacheSize bounds resident tenant entries (LRU past it). Zero
+	// selects 1024; negative is rejected.
+	CacheSize int
+}
+
+// TenantRegistry multiplexes one serving process across tenants: a
+// tenant ID resolves to an engine view built from the shared base model
+// (whatever the Server is currently serving) plus the tenant's
+// copy-on-write learner delta. Resident views live in an LRU; misses
+// cold-load from the DeltaStore; tenants without a delta serve the base
+// engine directly. The registry follows the server's atomic engine swap:
+// a base retrain republishes to every tenant — resident views rebuild
+// lazily over the new base on their next resolve (and re-persist under
+// the new base fingerprint when the memory actually moved), while
+// persisted deltas whose fingerprint no longer matches are rejected
+// loudly at cold-load and the tenant falls back to the base model until
+// re-personalized.
+type TenantRegistry struct {
+	srv   *Server
+	store DeltaStore
+	cap   int
+
+	mu      sync.Mutex
+	base    *infer.Engine // base engine the views were built over
+	baseFP  uint64        // fingerprint of base's model (cached; expensive)
+	baseGen uint64        // bumps on every adopted base engine
+	srvGen  uint64        // srv.ModelVersion() at adoption
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently resolved
+	bytes   int64      // resident delta bytes across entries
+
+	hits, misses, coldLoads, evictions atomic.Uint64
+	mismatches, rebuilds, corruptions  atomic.Uint64
+	scrubs                             atomic.Uint64
+
+	lastErrMu sync.Mutex
+	lastErr   string
+
+	loopMu sync.Mutex
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// TenantStats is a point-in-time snapshot of the registry.
+type TenantStats struct {
+	Residents     int    `json:"residents"`      // cached tenants holding a delta
+	Cached        int    `json:"cached"`         // all cached tenants (incl. base passthrough)
+	Capacity      int    `json:"capacity"`       // LRU bound
+	ResidentBytes int64  `json:"resident_bytes"` // delta float memory resident across tenants
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	ColdLoads     uint64 `json:"cold_loads"`  // deltas loaded from the store
+	Evictions     uint64 `json:"evictions"`   // LRU evictions
+	Mismatches    uint64 `json:"mismatches"`  // deltas rejected (base fingerprint mismatch)
+	Rebuilds      uint64 `json:"rebuilds"`    // resident views rebuilt after a base swap
+	Corruptions   uint64 `json:"corruptions"` // resident deltas failing their scrub signature
+	Scrubs        uint64 `json:"scrubs"`      // tenant scrub passes completed
+	BaseVersion   uint64 `json:"base_version"`
+	BaseHash      string `json:"base_hash"`
+	LastError     string `json:"last_error,omitempty"`
+}
+
+// NewTenantRegistry builds a registry multiplexing srv's serving engine.
+func NewTenantRegistry(srv *Server, cfg TenantRegistryConfig) (*TenantRegistry, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("serve: tenant registry: nil server")
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: tenant registry: nil delta store")
+	}
+	if cfg.CacheSize < 0 {
+		return nil, fmt.Errorf("serve: tenant registry: negative cache size %d", cfg.CacheSize)
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	r := &TenantRegistry{
+		srv:     srv,
+		store:   cfg.Store,
+		cap:     cfg.CacheSize,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+	r.mu.Lock()
+	r.adoptBaseLocked()
+	r.mu.Unlock()
+	return r, nil
+}
+
+// adoptBaseLocked re-points the registry at the server's current engine
+// when a swap landed since the last resolve: the base generation bumps
+// (resident views rebuild lazily on their next resolve) and the base
+// fingerprint is recomputed — it only actually changes when the class
+// memory moved (full retrain), not on alpha-only masks or reweights, so
+// persisted deltas survive quarantines.
+func (r *TenantRegistry) adoptBaseLocked() {
+	gen := r.srv.ModelVersion()
+	if r.base != nil && gen == r.srvGen {
+		return
+	}
+	eng := r.srv.Engine()
+	r.base = eng
+	r.srvGen = gen
+	r.baseGen++
+	r.baseFP = eng.Model().Fingerprint()
+}
+
+// Base returns the shared base engine tenant views are built over,
+// adopting the server's current engine first.
+func (r *TenantRegistry) Base() *infer.Engine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.adoptBaseLocked()
+	return r.base
+}
+
+// BaseFingerprint returns the cached fingerprint of the current base.
+func (r *TenantRegistry) BaseFingerprint() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.adoptBaseLocked()
+	return r.baseFP
+}
+
+// Resolve maps a tenant ID to its serving engine: the empty ID and
+// tenants without a delta serve the shared base, resident tenants hit
+// the LRU, and everything else cold-loads from the store. This is the
+// per-request tenant hot path — the cache hit does one map lookup and
+// one LRU splice under the lock and allocates nothing.
+//
+//hd:hotpath
+func (r *TenantRegistry) Resolve(id string) (*infer.Engine, error) {
+	if id == "" {
+		return r.srv.Engine(), nil
+	}
+	r.mu.Lock()
+	r.adoptBaseLocked()
+	if el, ok := r.entries[id]; ok {
+		e := el.Value.(*tenantEntry)
+		if e.gen == r.baseGen {
+			r.lru.MoveToFront(el)
+			eng := e.eng
+			r.mu.Unlock()
+			r.hits.Add(1)
+			return eng, nil
+		}
+		r.lru.MoveToFront(el)
+		eng, err := r.rebuildLocked(e)
+		r.mu.Unlock()
+		return eng, err
+	}
+	r.mu.Unlock()
+	r.misses.Add(1)
+	return r.resolveCold(id)
+}
+
+// rebuildLocked re-bases a resident entry after a base swap: the delta
+// view is rebuilt over the adopted engine, and when the base fingerprint
+// moved (a full retrain, not a quarantine mask) the delta is re-persisted
+// under the new fingerprint so the tenant's personalization survives the
+// republish. A delta the new base can no longer host (geometry change
+// from an operator swap) is dropped to base passthrough, loudly.
+func (r *TenantRegistry) rebuildLocked(e *tenantEntry) (*infer.Engine, error) {
+	r.rebuilds.Add(1)
+	if e.delta == nil {
+		e.eng = r.base
+		e.gen = r.baseGen
+		e.fp = r.baseFP
+		return e.eng, nil
+	}
+	eng, err := r.base.WithDelta(e.delta)
+	if err != nil {
+		r.mismatches.Add(1)
+		r.setLastErr(fmt.Errorf("tenant %s: delta incompatible with new base: %w", e.id, err))
+		r.bytes -= int64(e.bytes)
+		e.delta, e.bytes, e.sig = nil, 0, 0
+		e.eng = r.base
+		e.gen = r.baseGen
+		e.fp = r.baseFP
+		return e.eng, nil
+	}
+	if e.fp != r.baseFP {
+		if err := r.store.Save(e.id, e.delta, r.baseFP); err != nil {
+			// Keep serving the rebuilt view; the stale record on disk
+			// will be rejected at its next cold load, which is the loud
+			// path an operator investigates.
+			r.setLastErr(err)
+		}
+	}
+	e.eng = eng
+	e.gen = r.baseGen
+	e.fp = r.baseFP
+	return e.eng, nil
+}
+
+// resolveCold loads a tenant miss from the store and caches the result —
+// a delta view, or a base passthrough entry when the tenant has no
+// (usable) delta. Base-fingerprint mismatches are the designed-for
+// failure: counted, remembered, and served from the shared base rather
+// than failing the tenant's requests; every other store error is
+// surfaced to the caller.
+func (r *TenantRegistry) resolveCold(id string) (*infer.Engine, error) {
+	if err := ValidTenantID(id); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.adoptBaseLocked()
+	base, fp, gen := r.base, r.baseFP, r.baseGen
+	r.mu.Unlock()
+
+	d, err := r.store.Load(id, base.Model(), fp)
+	switch {
+	case err == nil:
+		r.coldLoads.Add(1)
+	case errors.Is(err, ErrNoDelta):
+		d = nil
+	case errors.Is(err, boosthd.ErrBaseMismatch):
+		r.mismatches.Add(1)
+		r.setLastErr(err)
+		d = nil
+	default:
+		r.setLastErr(err)
+		return nil, err
+	}
+
+	e := &tenantEntry{id: id, delta: d, eng: base, gen: gen, fp: fp}
+	if d != nil {
+		eng, err := base.WithDelta(d)
+		if err != nil {
+			r.setLastErr(err)
+			return nil, err
+		}
+		e.eng = eng
+		e.sig = signDelta(d)
+		e.bytes = d.MemoryBytes()
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.entries[id]; ok {
+		// A concurrent resolve or install won the race; keep its entry.
+		cur := el.Value.(*tenantEntry)
+		if cur.gen == r.baseGen {
+			r.lru.MoveToFront(el)
+			return cur.eng, nil
+		}
+		return r.rebuildLocked(cur)
+	}
+	if e.gen != r.baseGen {
+		// The base swapped while we were loading; rebuild over it.
+		r.entries[id] = r.lru.PushFront(e)
+		r.bytes += int64(e.bytes)
+		eng, err := r.rebuildLocked(e)
+		r.evictLocked()
+		return eng, err
+	}
+	r.entries[id] = r.lru.PushFront(e)
+	r.bytes += int64(e.bytes)
+	r.evictLocked()
+	return e.eng, nil
+}
+
+// Install publishes a freshly trained delta for a tenant: the view is
+// built over the current base, written through to the store (so a later
+// eviction loses nothing), and swapped into the cache atomically with
+// respect to Resolve. A store failure keeps the resident view serving
+// and returns the error — the operator must know the delta is not yet
+// durable.
+func (r *TenantRegistry) Install(id string, d *boosthd.Delta) error {
+	if err := ValidTenantID(id); err != nil {
+		return err
+	}
+	if d == nil {
+		return fmt.Errorf("serve: install: nil delta for tenant %s", id)
+	}
+	r.mu.Lock()
+	r.adoptBaseLocked()
+	base, fp, gen := r.base, r.baseFP, r.baseGen
+	r.mu.Unlock()
+
+	eng, err := base.WithDelta(d)
+	if err != nil {
+		return fmt.Errorf("serve: install tenant %s: %w", id, err)
+	}
+	saveErr := r.store.Save(id, d, fp)
+	if saveErr != nil {
+		r.setLastErr(saveErr)
+	}
+
+	e := &tenantEntry{id: id, delta: d, eng: eng, sig: signDelta(d),
+		gen: gen, fp: fp, bytes: d.MemoryBytes()}
+	r.mu.Lock()
+	if el, ok := r.entries[id]; ok {
+		old := el.Value.(*tenantEntry)
+		r.bytes -= int64(old.bytes)
+		el.Value = e
+		r.lru.MoveToFront(el)
+	} else {
+		r.entries[id] = r.lru.PushFront(e)
+	}
+	r.bytes += int64(e.bytes)
+	r.evictLocked()
+	r.mu.Unlock()
+	return saveErr
+}
+
+// Evict drops a tenant's resident entry (its persisted delta is
+// untouched), reporting whether one was cached. The next resolve
+// cold-loads from the store.
+func (r *TenantRegistry) Evict(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.entries[id]
+	if !ok {
+		return false
+	}
+	r.removeLocked(el)
+	return true
+}
+
+func (r *TenantRegistry) removeLocked(el *list.Element) {
+	e := el.Value.(*tenantEntry)
+	delete(r.entries, e.id)
+	r.lru.Remove(el)
+	r.bytes -= int64(e.bytes)
+}
+
+// evictLocked trims the LRU past capacity. Every resident delta was
+// written through at install/cold-load, so dropping the tail loses only
+// the cached view, never tenant state.
+func (r *TenantRegistry) evictLocked() {
+	for r.lru.Len() > r.cap {
+		el := r.lru.Back()
+		if el == nil {
+			return
+		}
+		r.removeLocked(el)
+		r.evictions.Add(1)
+	}
+}
+
+// signDelta folds a delta's identity — overridden indexes, their class
+// memory bits, and the tenant alphas — into one FNV-64 digest. The
+// tenant scrub pass re-folds every resident delta and evicts any whose
+// memory moved without an install: the base model is signed once by the
+// reliability monitor, each resident delta separately here, so fleet
+// scrub cost is base + sum(deltas), not tenants x model.
+func signDelta(d *boosthd.Delta) uint64 {
+	const (
+		offset uint64 = 14695981039346656037
+		prime  uint64 = 1099511628211
+	)
+	h := offset
+	fold := func(w uint64) {
+		h ^= w
+		h *= prime
+	}
+	for _, i := range d.Indexes() {
+		fold(uint64(i))
+		d.Learners[i].ReadClass(func(class []hdc.Vector, _ uint64) {
+			for _, cv := range class {
+				for _, x := range cv {
+					fold(math.Float64bits(x))
+				}
+			}
+		})
+	}
+	for _, a := range d.Alphas {
+		fold(math.Float64bits(a))
+	}
+	return h
+}
+
+// ScrubTenants verifies every resident delta against the signature taken
+// at install/cold-load and evicts corrupted entries — their next resolve
+// restores from the store's authoritative record. Returns the number of
+// entries scrubbed and the number evicted as corrupted.
+func (r *TenantRegistry) ScrubTenants() (scrubbed, corrupted int) {
+	type probe struct {
+		id    string
+		delta *boosthd.Delta
+		sig   uint64
+	}
+	r.mu.Lock()
+	probes := make([]probe, 0, len(r.entries))
+	for _, el := range r.entries {
+		e := el.Value.(*tenantEntry)
+		if e.delta != nil {
+			probes = append(probes, probe{e.id, e.delta, e.sig})
+		}
+	}
+	r.mu.Unlock()
+
+	var bad []probe
+	for _, p := range probes {
+		if signDelta(p.delta) != p.sig {
+			bad = append(bad, p)
+		}
+	}
+	if len(bad) > 0 {
+		r.mu.Lock()
+		for _, p := range bad {
+			el, ok := r.entries[p.id]
+			if !ok {
+				continue
+			}
+			if e := el.Value.(*tenantEntry); e.delta == p.delta {
+				r.removeLocked(el)
+				r.corruptions.Add(1)
+				corrupted++
+			}
+		}
+		r.mu.Unlock()
+		r.setLastErr(fmt.Errorf("tenant scrub: %d resident delta(s) corrupted, evicted for cold restore", corrupted))
+	}
+	r.scrubs.Add(1)
+	return len(probes), corrupted
+}
+
+// Start launches the background tenant scrub loop. No-op if already
+// running or every <= 0.
+func (r *TenantRegistry) Start(every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	r.loopMu.Lock()
+	defer r.loopMu.Unlock()
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.ScrubTenants()
+			}
+		}
+	}(r.stop, r.done)
+}
+
+// Stop halts the scrub loop and waits for it to exit.
+func (r *TenantRegistry) Stop() {
+	r.loopMu.Lock()
+	defer r.loopMu.Unlock()
+	if r.stop == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+	r.stop, r.done = nil, nil
+}
+
+func (r *TenantRegistry) setLastErr(err error) {
+	r.lastErrMu.Lock()
+	r.lastErr = err.Error()
+	r.lastErrMu.Unlock()
+}
+
+// Stats snapshots the registry counters.
+func (r *TenantRegistry) Stats() TenantStats {
+	r.mu.Lock()
+	residents := 0
+	for _, el := range r.entries {
+		if el.Value.(*tenantEntry).delta != nil {
+			residents++
+		}
+	}
+	st := TenantStats{
+		Residents:     residents,
+		Cached:        len(r.entries),
+		Capacity:      r.cap,
+		ResidentBytes: r.bytes,
+		BaseVersion:   r.srvGen,
+		BaseHash:      fmt.Sprintf("%016x", r.baseFP),
+	}
+	r.mu.Unlock()
+	st.Hits = r.hits.Load()
+	st.Misses = r.misses.Load()
+	st.ColdLoads = r.coldLoads.Load()
+	st.Evictions = r.evictions.Load()
+	st.Mismatches = r.mismatches.Load()
+	st.Rebuilds = r.rebuilds.Load()
+	st.Corruptions = r.corruptions.Load()
+	st.Scrubs = r.scrubs.Load()
+	r.lastErrMu.Lock()
+	st.LastError = r.lastErr
+	r.lastErrMu.Unlock()
+	return st
+}

@@ -147,9 +147,12 @@ func sanityCheckEnsemble(t *testing.T, m *boosthd.Model) {
 
 // TestSeededCheckpointRoundTrip: checkpoints whose config uses the
 // rematerialized projection must round-trip through both the float
-// ensemble and binary snapshot formats — framed at VersionSeeded — and
-// the loaded models must predict identically to the originals (the
-// encoder rebuilds from seed + config alone).
+// ensemble and binary snapshot formats — the ensemble framed at
+// VersionPacked (seeded configs ship the flat packed class block, which
+// dominates their size now that the matrix is rematerialized), the
+// binary snapshot at VersionSeeded — and the loaded models must predict
+// identically to the originals (the encoder rebuilds from seed + config
+// alone).
 func TestSeededCheckpointRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	const n, features, classes = 80, 6, 2
@@ -180,8 +183,8 @@ func TestSeededCheckpointRoundTrip(t *testing.T) {
 	if err := m.Save(&ens); err != nil {
 		t.Fatal(err)
 	}
-	if v := ens.Bytes()[len(wire.MagicEnsemble)]; v != wire.VersionSeeded {
-		t.Fatalf("seeded ensemble framed at version %d, want %d", v, wire.VersionSeeded)
+	if v := ens.Bytes()[len(wire.MagicEnsemble)]; v != wire.VersionPacked {
+		t.Fatalf("seeded ensemble framed at version %d, want %d", v, wire.VersionPacked)
 	}
 	lm, err := boosthd.Load(bytes.NewReader(ens.Bytes()))
 	if err != nil {
@@ -237,16 +240,17 @@ func TestSeededCheckpointRoundTrip(t *testing.T) {
 func TestSeededFrameRejection(t *testing.T) {
 	blobs := seedBlobs(t)
 	for _, tc := range []struct {
-		name string
-		blob []byte
-		load func([]byte) error
+		name    string
+		blob    []byte
+		version byte // expected frame: packed ensemble vs seeded binary
+		load    func([]byte) error
 	}{
-		{"ensemble", blobs[3], func(b []byte) error { _, err := boosthd.Load(bytes.NewReader(b)); return err }},
-		{"binary", blobs[4], func(b []byte) error { _, err := infer.LoadBinary(bytes.NewReader(b)); return err }},
+		{"ensemble", blobs[3], wire.VersionPacked, func(b []byte) error { _, err := boosthd.Load(bytes.NewReader(b)); return err }},
+		{"binary", blobs[4], wire.VersionSeeded, func(b []byte) error { _, err := infer.LoadBinary(bytes.NewReader(b)); return err }},
 	} {
 		mut := append([]byte(nil), tc.blob...)
-		if mut[4] != wire.VersionSeeded {
-			t.Fatalf("%s: seeded blob header version %d, want %d", tc.name, mut[4], wire.VersionSeeded)
+		if mut[4] != tc.version {
+			t.Fatalf("%s: seeded blob header version %d, want %d", tc.name, mut[4], tc.version)
 		}
 		mut[4] = wire.Version1
 		err := tc.load(mut)

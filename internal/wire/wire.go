@@ -26,6 +26,12 @@ const (
 	MagicOnlineHD = "BHDO"
 	// MagicBinary frames a quantized binary snapshot (infer SaveBinary).
 	MagicBinary = "BHDB"
+	// MagicTenant frames a per-tenant delta record (boosthd.SaveDelta):
+	// the copy-on-write overrides a tenant holds against a shared base
+	// model — overridden learners' class memory plus tenant alphas, keyed
+	// to the base model's fingerprint so a delta can never be replayed
+	// onto a base it was not trained against.
+	MagicTenant = "BHDT"
 )
 
 // prefix is shared by every magic; a stream starting with it but not
@@ -45,8 +51,15 @@ const (
 	// seeded checkpoints are framed at this version precisely so such
 	// builds reject them with a loud "newer build?" error instead.
 	VersionSeeded = 2
+	// VersionPacked moves the ensemble class memory into a flat
+	// fixed-width block instead of gob's per-element float encoding —
+	// the class memories dominate seeded-float checkpoint size now that
+	// the projection matrix is rematerialized, and gob spends ~9 bytes
+	// per high-entropy float64 where the flat block spends exactly 8.
+	// The bits are identical after load; only the framing shrinks.
+	VersionPacked = 3
 	// Version is the newest header version this build understands.
-	Version = VersionSeeded
+	Version = VersionPacked
 )
 
 // headerLen is magic (4 bytes) plus the version byte.
@@ -155,6 +168,8 @@ func describe(magic string) string {
 		return "OnlineHD model"
 	case MagicBinary:
 		return "quantized binary snapshot"
+	case MagicTenant:
+		return "tenant delta record"
 	default:
 		return fmt.Sprintf("unknown %q", magic)
 	}

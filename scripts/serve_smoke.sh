@@ -2,7 +2,12 @@
 # End-to-end smoke for the serving + continual-learning + reliability
 # stack: train a tiny checkpoint, serve it quantized with the trainer
 # and scrubber enabled, stream labeled observations over /observe,
-# trigger a hot retrain over /retrain, then run a chaos drill: inject
+# trigger a hot retrain over /retrain, then run a multi-tenant drill:
+# two tenants personalize the shared base with conflicting label
+# streams over /t/{tenant}/observe + retrain, and the script asserts
+# each sees only its own adaptation (base hash unchanged, views
+# mutually distinct) and that a subsequent base retrain republishes to
+# both without losing their deltas. Ends with a chaos drill: inject
 # word faults over /inject and assert the monitor repairs them at
 # dimension granularity — no learner's alpha ever reaches 0 (state
 # never "quarantined", healthy_fraction never 0). Finishes by
@@ -30,6 +35,7 @@ go build -o "$workdir/boosthd-serve" ./cmd/boosthd-serve
 # dimension tier by construction, not by RNG luck.
 "$workdir/boosthd-serve" -addr 127.0.0.1:18080 -checkpoint "$workdir/model.bhde" \
   -backend binary -trainer -buffer 512 -checkpoint-dir "$workdir" \
+  -tenants -tenant-dir "$workdir/tenants" \
   -scrub-every 300ms -segment-words 1 -min-healthy 0.3 -chaos &
 server_pid=$!
 
@@ -78,6 +84,50 @@ assert health["trainer"]["observed"] == 96, health
 assert health["model"]["version"] >= 2, health          # the swap landed
 assert health["model"]["backend"] == "packed-binary", health
 assert health["reliability"]["degraded"] is False, health
+
+# Multi-tenant drill: two wearers personalize the shared base with
+# conflicting label streams — streams that could only coexist through
+# per-tenant copy-on-write isolation.
+ts0 = call("/tenants")
+assert ts0["residents"] == 0, ts0
+probe = rows[:32]
+base_pred = call("/predict_batch", {"rows": probe})["labels"]
+
+call("/t/wearer-a/observe", {"rows": rows, "labels": [(l + 1) % 3 for l in labels]})
+call("/t/wearer-b/observe", {"rows": rows, "labels": [(l + 2) % 3 for l in labels]})
+ra = call("/t/wearer-a/retrain", {})
+rb = call("/t/wearer-b/retrain", {})
+assert ra["swapped"] and ra["mode"] == "tenant-delta", ra
+assert rb["swapped"] and rb["mode"] == "tenant-delta", rb
+
+pa = call("/t/wearer-a/predict_batch", {"rows": probe})["labels"]
+pb = call("/t/wearer-b/predict_batch", {"rows": probe})["labels"]
+assert pa != base_pred, "tenant-a view identical to the base"
+assert pb != base_pred and pa != pb, "tenant views not isolated from each other"
+assert call("/predict_batch", {"rows": probe})["labels"] == base_pred, \
+    "tenant retrain leaked into the shared base"
+# The registry tracks the base lazily (views rebuild on the next
+# resolve), so capture its identity only after the tenant resolves
+# above have refreshed it.
+ts = call("/tenants")
+assert ts["residents"] == 2 and ts["resident_bytes"] > 0, ts
+base_hash = ts["base_hash"]
+assert call("/tenants")["base_hash"] == base_hash, "base identity moved during tenant predicts"
+
+# A base retrain republishes to every tenant: the base hash moves,
+# resident views rebuild onto the new base, and the deltas survive.
+call("/observe", {"rows": rows, "labels": labels})
+assert call("/retrain", {})["swapped"]
+pa2 = call("/t/wearer-a/predict_batch", {"rows": probe})["labels"]
+pb2 = call("/t/wearer-b/predict_batch", {"rows": probe})["labels"]
+assert pa2 != call("/predict_batch", {"rows": probe})["labels"], \
+    "tenant delta lost across the base swap"
+assert pa2 != pb2, "tenant views collapsed across the base swap"
+ts2 = call("/tenants")
+assert ts2["base_hash"] != base_hash, ts2
+assert ts2["rebuilds"] >= 2, ts2
+print("tenant drill ok: residents=%d bytes=%d rebuilds=%d" %
+      (ts2["residents"], ts2["resident_bytes"], ts2["rebuilds"]))
 
 import time
 time.sleep(0.8)  # let the scrubber tick over the retrained model
