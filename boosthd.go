@@ -26,6 +26,7 @@ import (
 	"boosthd/internal/encoding"
 	"boosthd/internal/faults"
 	"boosthd/internal/infer"
+	"boosthd/internal/obs"
 	"boosthd/internal/onlinehd"
 	"boosthd/internal/reliability"
 	"boosthd/internal/serve"
@@ -355,6 +356,40 @@ type RepairReport = reliability.RepairReport
 func NewReliabilityMonitor(srv *Server, cfg ReliabilityConfig) (*ReliabilityMonitor, error) {
 	return reliability.New(srv, cfg)
 }
+
+// ServingObservability bundles a serving process's observability
+// surface: lock-free sharded latency histograms (request, batch wait,
+// batch size, encode, score, tenant cold load), cumulative per-backend
+// stage timing, a sampled per-request stage tracer, and the typed
+// reliability/tenant event journal. Wire it with Server.SetObs; the
+// HTTP layer then exposes it through /metrics, /trace, and /events.
+type ServingObservability = obs.Serving
+
+// NewServingObservability builds the bundle. sampleEvery captures every
+// Nth request's full stage trace (0 = no per-request traces; histograms
+// and the journal are always live); traceRing and eventRing bound the
+// retained history (0 = defaults).
+func NewServingObservability(sampleEvery, traceRing, eventRing int) *ServingObservability {
+	return obs.NewServing(sampleEvery, traceRing, eventRing)
+}
+
+// LatencyHistogram is a lock-free sharded fixed-bucket histogram with
+// power-of-two bucket bounds; recording is allocation-free and safe on
+// the serving hot path.
+type LatencyHistogram = obs.Histogram
+
+// ObsSpan is one sampled request's stage trace (admission, queue,
+// encode, score, aggregate) with its correlation and batch IDs.
+type ObsSpan = obs.Span
+
+// ObsEvent is one typed entry in the reliability/tenant event journal:
+// monotonic sequence, wall time, correlation ID, and learner/segment/
+// tenant attribution.
+type ObsEvent = obs.Event
+
+// ObsJournal is the bounded event ring behind /events, optionally
+// mirrored to a JSONL file.
+type ObsJournal = obs.Journal
 
 // Remask builds the serving engine for a quarantine mask: an
 // alpha-masked view of base served through cur's backend, sharing the

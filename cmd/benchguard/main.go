@@ -80,6 +80,13 @@ var suites = []suite{
 		tolScale:  1,
 	},
 	{
+		pkg:       "./internal/obs",
+		bench:     "^(BenchmarkHistogramObserve|BenchmarkSpanStamp)$",
+		benchtime: "200ms",
+		count:     5,
+		tolScale:  1,
+	},
+	{
 		pkg:       ".",
 		bench:     "^BenchmarkInferBackends$",
 		benchtime: "1x",

@@ -16,6 +16,7 @@
 //	              [-tenants] [-tenant-dir dir] [-tenant-cache 1024]
 //	              [-scrub-every 0] [-canary 0] [-quarantine-threshold 0.15]
 //	              [-segment-words 8] [-min-healthy 0.5] [-chaos]
+//	              [-trace-sample 0] [-events-file path] [-debug-addr addr]
 //	              [-read-timeout 30s] [-write-timeout 30s] [-idle-timeout 2m]
 //	              [-shutdown-grace 15s]
 //
@@ -67,6 +68,17 @@
 // signature on the scrub cadence (the base is signed once by the
 // reliability monitor).
 //
+// Observability: stage-level latency histograms (request, batch wait,
+// batch size, encode, score), per-backend stage accounting, and the
+// reliability/tenant event journal are always on and exported through
+// /metrics, /trace, and /events. -trace-sample N additionally captures
+// every Nth request's full stage trace (admission → queue → encode →
+// score → aggregate) into the bounded /trace ring; -events-file mirrors
+// the event journal to a JSONL file next to the reliability state.
+// -debug-addr starts a SECOND listener serving net/http/pprof under
+// /debug/pprof/ — it is never mounted on the serving mux and carries no
+// auth, so bind it to localhost (or a firewalled port) only.
+//
 // Endpoints:
 //
 //	POST /predict        {"features":[...]}                      -> {"label":n}
@@ -78,6 +90,8 @@
 //	POST /retrain        {}                                      -> retrain report
 //	GET  /reliability                                            -> health ledger + counters
 //	GET  /tenants                                                -> tenant registry stats
+//	GET  /trace                                                  -> sampled stage traces + stage accounting
+//	GET  /events                                                 -> reliability/tenant event journal
 //	*    /t/{tenant}/{predict|predict_batch|observe|retrain}     -> tenant-scoped ops
 package main
 
@@ -88,6 +102,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	osignal "os/signal"
 	"path/filepath"
@@ -100,6 +115,7 @@ import (
 	"boosthd/internal/encoding"
 	"boosthd/internal/faults"
 	"boosthd/internal/infer"
+	"boosthd/internal/obs"
 	"boosthd/internal/reliability"
 	"boosthd/internal/serve"
 	"boosthd/internal/signal"
@@ -132,6 +148,9 @@ func main() {
 	segmentWords := flag.Int("segment-words", 0, "signature/quarantine segment width in packed 64-bit words (0 = default 8; corruption is masked at this granularity)")
 	minHealthy := flag.Float64("min-healthy", 0, "healthy-dimension fraction below which a learner is fully quarantined instead of dimension-masked (0 = default 0.5, >=1 = always whole-learner)")
 	chaos := flag.Bool("chaos", false, "enable the POST /inject fault-injection drill endpoint (binary backend; gate with -auth-token on exposed ports)")
+	traceSample := flag.Int("trace-sample", 0, "capture every Nth request's full stage trace into /trace (0 = no per-request traces; histograms and /events stay on)")
+	eventsFile := flag.String("events-file", "", "mirror the /events reliability journal to this JSONL file (empty = in-memory ring only)")
+	debugAddr := flag.String("debug-addr", "", "extra listener for net/http/pprof under /debug/pprof/ (empty = disabled; unauthenticated — bind to localhost only)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
@@ -224,6 +243,25 @@ func main() {
 	fmt.Printf("micro-batcher: max-batch %d, max-wait %v, %d workers\n",
 		cfg.MaxBatch, cfg.MaxWait, cfg.Workers)
 
+	if *traceSample < 0 {
+		fail(fmt.Errorf("-trace-sample must be >= 0 (got %d)", *traceSample))
+	}
+	// Observability is always on: the histograms and the event journal
+	// are allocation-free / off the hot path, and every subsystem below
+	// (monitor, registry, trainer, handlers) reaches them through the
+	// server. -trace-sample only governs per-request stage traces.
+	ob := obs.NewServing(*traceSample, 0, 0)
+	if *eventsFile != "" {
+		if err := ob.Journal.Persist(*eventsFile); err != nil {
+			fail(err)
+		}
+		fmt.Printf("observability: mirroring /events to %s\n", *eventsFile)
+	}
+	srv.SetObs(ob)
+	if *traceSample > 0 {
+		fmt.Printf("observability: tracing every %dth request into /trace\n", *traceSample)
+	}
+
 	hcfg := serve.HandlerConfig{
 		MaxBodyBytes:  *bodyLimit,
 		MaxBatchRows:  *maxRows,
@@ -300,6 +338,9 @@ func main() {
 			// the mutation-observer contract wired below, so scrubbing
 			// stays strict instead of trusting version bumps wholesale.
 			SignedUpdates: *useTrainer,
+			// Every scrub verdict, quarantine, and repair outcome lands
+			// in the /events journal with a per-pass correlation ID.
+			Journal: ob.Journal,
 		}
 		if *checkpointDir != "" {
 			// Fault history and criticality baselines survive restarts:
@@ -369,6 +410,26 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("listening on %s\n", *addr)
 
+	// The pprof listener is a separate mux on a separate port — never the
+	// serving mux, so profiling can stay firewalled while /predict is
+	// exposed. It carries no auth: bind it to localhost.
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbgSrv = &http.Server{Addr: *debugAddr, Handler: dm, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "boosthd-serve: debug listener:", err)
+			}
+		}()
+		fmt.Printf("debug: pprof on %s/debug/pprof/ (unauthenticated; keep it local)\n", *debugAddr)
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	osignal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -389,6 +450,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "boosthd-serve: shutdown:", err)
+	}
+	if dbgSrv != nil {
+		_ = dbgSrv.Shutdown(ctx)
 	}
 	if tr != nil {
 		remaining := time.Until(deadline)
@@ -411,6 +475,9 @@ func main() {
 		}
 	}
 	srv.Close()
+	if err := ob.Journal.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "boosthd-serve: events file:", err)
+	}
 	fmt.Println("drained; bye")
 }
 

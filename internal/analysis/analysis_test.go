@@ -159,6 +159,8 @@ var benchKernels = map[string][]struct{ dir, fn string }{
 		{"internal/infer", "planeDistance4"},
 	},
 	"internal/infer.BenchmarkScoreEncodedFloat": {{"internal/boosthd", "segmentDots"}},
+	"internal/obs.BenchmarkHistogramObserve":    {{"internal/obs", "Observe"}},
+	"internal/obs.BenchmarkSpanStamp":           {{"internal/obs", "Stamp"}},
 	"internal/serve.BenchmarkTenantResolve":     {{"internal/serve", "Resolve"}},
 }
 
@@ -172,7 +174,7 @@ func TestHotpathCoversBaselineKernels(t *testing.T) {
 		t.Fatal(err)
 	}
 	var baseline struct {
-		Benchmarks map[string]int64 `json:"benchmarks"`
+		Benchmarks map[string]float64 `json:"benchmarks"`
 	}
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		t.Fatal(err)

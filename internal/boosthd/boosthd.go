@@ -16,11 +16,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"boosthd/internal/encoding"
 	"boosthd/internal/ensemble"
 	"boosthd/internal/faults"
 	"boosthd/internal/hdc"
+	"boosthd/internal/obs"
 	"boosthd/internal/onlinehd"
 	"boosthd/internal/par"
 )
@@ -521,6 +523,16 @@ const predictBatchRows = encoding.BatchRowBlock
 // memories are pinned for the whole batch: concurrent Fit or fault
 // injection waits, and every row scores against one consistent model.
 func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
+	return m.PredictBatchStaged(X, nil)
+}
+
+// PredictBatchStaged is PredictBatch with per-phase accounting: when
+// stages is non-nil, every worker adds its blocks' encode and score
+// wall time to it (atomically — blocks run in parallel). Timing is
+// taken at block granularity, around the encode call and the scoring
+// loop, so the allocation-free scoring kernels themselves carry no
+// instrumentation; a nil stages skips even the clock reads.
+func (m *Model) PredictBatchStaged(X [][]float64, stages *obs.StageTimes) ([]int, error) {
 	out := make([]int, len(X))
 	if len(X) == 0 {
 		return out, nil
@@ -546,12 +558,24 @@ func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
 		if hi > len(X) {
 			hi = len(X)
 		}
+		var t0 time.Time
+		if stages != nil {
+			t0 = time.Now()
+		}
 		if err := m.Enc.EncodeBatchInto(X[lo:hi], st.buf, D, 0); err != nil {
 			return fmt.Errorf("boosthd: rows [%d,%d): %w", lo, hi, err)
+		}
+		var t1 time.Time
+		if stages != nil {
+			t1 = time.Now()
+			stages.EncodeNS.Add(t1.Sub(t0).Nanoseconds())
 		}
 		for i := lo; i < hi; i++ {
 			h := hdc.Vector(st.buf[(i-lo)*D : (i-lo+1)*D])
 			out[i] = m.classifyEncoded(h, norms, st.sc)
+		}
+		if stages != nil {
+			stages.ScoreNS.Add(time.Since(t1).Nanoseconds())
 		}
 		return nil
 	})

@@ -7,10 +7,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"boosthd/internal/boosthd"
 	"boosthd/internal/faults"
 	"boosthd/internal/hdc"
+	"boosthd/internal/obs"
 	"boosthd/internal/par"
 )
 
@@ -569,6 +571,16 @@ const predictBatchRows = 32
 // quantization (float model mutated since the snapshot) is refreshed
 // first, and the whole batch scores against one consistent snapshot.
 func (bm *BinaryModel) PredictBatch(X [][]float64) ([]int, error) {
+	return bm.PredictBatchStaged(X, nil)
+}
+
+// PredictBatchStaged is PredictBatch with per-phase accounting: when
+// stages is non-nil, every worker adds its blocks' encode and score
+// wall time to it (atomically — blocks run in parallel). The clock
+// reads sit at block granularity around the sign-bit encode call and
+// the popcount scoring loop; the //hd:hotpath kernels are untouched,
+// and a nil stages skips the clock entirely.
+func (bm *BinaryModel) PredictBatchStaged(X [][]float64, stages *obs.StageTimes) ([]int, error) {
 	out := make([]int, len(X))
 	if len(X) == 0 {
 		return out, nil
@@ -605,8 +617,17 @@ func (bm *BinaryModel) PredictBatch(X [][]float64) ([]int, error) {
 		if hi > len(X) {
 			hi = len(X)
 		}
+		var t0 time.Time
+		if stages != nil {
+			t0 = time.Now()
+		}
 		if err := bm.model.EncodeSegmentBitsBatch(X[lo:hi], sc.q[:hi-lo]); err != nil {
 			return fmt.Errorf("infer: rows [%d,%d): %w", lo, hi, err)
+		}
+		var t1 time.Time
+		if stages != nil {
+			t1 = time.Now()
+			stages.EncodeNS.Add(t1.Sub(t0).Nanoseconds())
 		}
 		i := lo
 		for ; i+4 <= hi; i += 4 {
@@ -615,6 +636,9 @@ func (bm *BinaryModel) PredictBatch(X [][]float64) ([]int, error) {
 		}
 		for ; i < hi; i++ {
 			out[i] = bm.predictBits(qz, sc.q[i-lo], sc.agg[0], sc.scores[0])
+		}
+		if stages != nil {
+			stages.ScoreNS.Add(time.Since(t1).Nanoseconds())
 		}
 		return nil
 	})

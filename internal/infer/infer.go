@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"boosthd/internal/boosthd"
+	"boosthd/internal/obs"
 )
 
 // Backend selects the model representation an Engine scores with.
@@ -90,10 +91,19 @@ func (e *Engine) Predict(x []float64) (int, error) {
 
 // PredictBatch classifies rows through the backend's batch pipeline.
 func (e *Engine) PredictBatch(X [][]float64) ([]int, error) {
+	return e.PredictBatchStaged(X, nil)
+}
+
+// PredictBatchStaged is PredictBatch with per-phase accounting: when
+// stages is non-nil the backend adds its encode and score wall time to
+// it. The serving layer passes a stack-local StageTimes per batch and
+// feeds the result into the observability histograms; a nil stages
+// costs one branch per 32-row block.
+func (e *Engine) PredictBatchStaged(X [][]float64, stages *obs.StageTimes) ([]int, error) {
 	if e.backend == PackedBinary {
-		return e.bin.PredictBatch(X)
+		return e.bin.PredictBatchStaged(X, stages)
 	}
-	return e.model.PredictBatch(X)
+	return e.model.PredictBatchStaged(X, stages)
 }
 
 // Evaluate returns plain accuracy on a labeled set through the selected

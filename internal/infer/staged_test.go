@@ -1,0 +1,43 @@
+package infer
+
+import (
+	"testing"
+
+	"boosthd/internal/obs"
+)
+
+// TestPredictBatchStaged pins the staged variants as observational
+// only: identical labels to the plain path on both backends, with
+// non-zero encode and score accounting when a StageTimes is passed.
+func TestPredictBatchStaged(t *testing.T) {
+	m, X, _ := fixture(t, 800, 8)
+	float := NewEngine(m)
+	binary, err := NewBinaryEngine(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*Engine{float, binary} {
+		want, err := e.PredictBatch(X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st obs.StageTimes
+		got, err := e.PredictBatchStaged(X, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s row %d: staged %d != plain %d", e.Backend(), i, got[i], want[i])
+			}
+		}
+		if st.EncodeNS.Load() <= 0 || st.ScoreNS.Load() <= 0 {
+			t.Fatalf("%s stage times not accumulated: encode=%d score=%d",
+				e.Backend(), st.EncodeNS.Load(), st.ScoreNS.Load())
+		}
+		// Nil stages must be accepted (the non-observed path).
+		if _, err := e.PredictBatchStaged(X[:3], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

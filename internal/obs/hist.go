@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// histShards spreads concurrent recorders across independent
+	// atomic bucket arrays; merged at scrape time. Power of two.
+	histShards = 16
+	// histBuckets fixes the bucket count: bucket i holds values
+	// v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i), so the
+	// upper bound of bucket i is 2^i - 1 native units (bucket 0
+	// holds exactly v == 0). The last bucket absorbs everything
+	// larger (+Inf): 2^30 ns ≈ 1.07 s, far beyond any serving
+	// deadline, and 2^30 rows beyond any batch cap.
+	histBuckets = 32
+)
+
+// histShard is one shard's bucket array. The trailing pad keeps
+// adjacent shards from sharing a cache line on the sum/count words.
+type histShard struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64
+	count  atomic.Uint64
+	_      [6]uint64
+}
+
+// Histogram is a lock-free fixed-bucket histogram with power-of-two
+// bucket boundaries. Recording is wait-free (three atomic adds) and
+// allocation-free; scrape-side readers merge the shards into a
+// consistent-enough snapshot (buckets, sum, and count are read without
+// a barrier — standard for monitoring counters).
+//
+// Shard selection hashes the observed value rather than the runtime P:
+// Go does not expose processor identity without runtime internals, and
+// nanosecond-scale durations carry enough low-bit entropy that
+// concurrent recorders land on different shards with high probability.
+// Low-entropy streams (e.g. a constant batch size) collapse onto one
+// shard, but those record at per-batch, not per-request, rates.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value in native units (nanoseconds for latency
+// families, rows for size families). Safe for concurrent use; nil
+// receiver is a no-op.
+//
+//hd:hotpath
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	x := v
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	s := &h.shards[x&(histShards-1)]
+	i := bits.Len64(v)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	s.counts[i].Add(1)
+	s.sum.Add(v)
+	s.count.Add(1)
+}
+
+// HistSnapshot is a merged point-in-time view of a Histogram. Counts
+// are per-bucket (not cumulative); bucket i's inclusive upper bound is
+// 2^i - 1 native units, with the last bucket unbounded.
+type HistSnapshot struct {
+	Counts [histBuckets]uint64
+	Sum    uint64
+	Count  uint64
+}
+
+// Snapshot merges the shards. Nil receiver yields a zero snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var snap HistSnapshot
+	if h == nil {
+		return snap
+	}
+	for s := range h.shards {
+		sh := &h.shards[s]
+		for i := range sh.counts {
+			snap.Counts[i] += sh.counts[i].Load()
+		}
+		snap.Sum += sh.sum.Load()
+		snap.Count += sh.count.Load()
+	}
+	return snap
+}
+
+// BucketBound returns bucket i's inclusive upper bound in native
+// units, or ^uint64(0) for the overflow bucket.
+func BucketBound(i int) uint64 {
+	if i >= histBuckets-1 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(i) - 1
+}
+
+// WriteProm writes the snapshot as one Prometheus histogram family:
+// HELP/TYPE header, cumulative le buckets, _sum, and _count. scale
+// divides native units into exposition units — 1e9 for
+// nanoseconds→seconds families, 1 for count-valued families.
+func (s HistSnapshot) WriteProm(w io.Writer, name, help string, scale float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i := 0; i < histBuckets-1; i++ {
+		cum += s.Counts[i]
+		// Skip the long run of empty leading/trailing buckets but
+		// always keep at least the first bucket of each populated
+		// region plus a final pre-Inf bound, so series stay sparse
+		// without losing cumulative correctness.
+		if s.Counts[i] == 0 && !(i+1 < histBuckets && s.Counts[i+1] != 0) {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(BucketBound(i))/scale, cum)
+	}
+	cum += s.Counts[histBuckets-1]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/scale)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}

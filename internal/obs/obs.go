@@ -1,0 +1,59 @@
+// Package obs is the serving observability layer: lock-free sharded
+// latency histograms, request-scoped stage spans with a sampled trace
+// ring, cumulative per-backend stage timing, and a bounded reliability
+// event journal with optional JSONL persistence.
+//
+// The package is deliberately a leaf — stdlib-only, importing nothing
+// from the rest of the module — so every subsystem (infer, serve,
+// reliability, trainer) can record into it without import cycles. All
+// record paths are designed for the serving hot path: histogram
+// observation and span stamping are allocation-free (//hd:hotpath,
+// enforced by hdlint), and nothing on the record side takes a lock.
+package obs
+
+// Serving bundles the observability surface of one serving process:
+// the latency histogram families, the per-backend stage accumulator,
+// the trace sampler, and the reliability event journal. A nil *Serving
+// (observability not wired) is valid everywhere — record calls on nil
+// components are cheap no-ops.
+type Serving struct {
+	// ReqLatency is per-request end-to-end latency through the
+	// micro-batcher, in nanoseconds.
+	ReqLatency *Histogram
+	// BatchWait is the coalesce wait per flushed batch — first
+	// enqueue to dispatch — in nanoseconds.
+	BatchWait *Histogram
+	// BatchSize is rows per flushed batch.
+	BatchSize *Histogram
+	// EncodeTime and ScoreTime are the engine's per-batch encode and
+	// score phase wall times, in nanoseconds.
+	EncodeTime *Histogram
+	ScoreTime  *Histogram
+	// ColdLoad is tenant cold-load latency (store read + view
+	// build), in nanoseconds.
+	ColdLoad *Histogram
+	// Stages accumulates cumulative per-stage wall time per backend.
+	Stages *StageStats
+	// Tracer samples full per-request stage traces into a ring.
+	Tracer *Tracer
+	// Journal records reliability and tenant lifecycle events.
+	Journal *Journal
+}
+
+// NewServing builds the full observability bundle. sampleEvery traces
+// every Nth request (0 disables trace sampling; correlation IDs are
+// still minted), traceRing and eventRing bound the in-memory history
+// served at /trace and /events.
+func NewServing(sampleEvery, traceRing, eventRing int) *Serving {
+	return &Serving{
+		ReqLatency: NewHistogram(),
+		BatchWait:  NewHistogram(),
+		BatchSize:  NewHistogram(),
+		EncodeTime: NewHistogram(),
+		ScoreTime:  NewHistogram(),
+		ColdLoad:   NewHistogram(),
+		Stages:     NewStageStats(),
+		Tracer:     NewTracer(sampleEvery, traceRing),
+		Journal:    NewJournal(eventRing),
+	}
+}

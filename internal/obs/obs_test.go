@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	// Each value v lands in bucket bits.Len64(v): the inclusive
+	// upper bound of bucket i is 2^i - 1.
+	values := []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 40}
+	for _, v := range values {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != uint64(len(values)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(values))
+	}
+	wantSum := uint64(0)
+	for _, v := range values {
+		wantSum += v
+	}
+	if snap.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", snap.Sum, wantSum)
+	}
+	var want [histBuckets]uint64
+	for _, v := range values {
+		i := bits.Len64(v)
+		if i >= histBuckets {
+			i = histBuckets - 1
+		}
+		want[i]++
+	}
+	if snap.Counts != want {
+		t.Fatalf("counts = %v, want %v", snap.Counts, want)
+	}
+	// Bucket invariant: every value is <= its bucket's bound and >
+	// the previous bucket's bound.
+	for _, v := range values {
+		i := bits.Len64(v)
+		if i >= histBuckets {
+			i = histBuckets - 1
+			if v <= BucketBound(i-1) {
+				t.Fatalf("overflow bucket holds %d <= %d", v, BucketBound(i-1))
+			}
+			continue
+		}
+		if v > BucketBound(i) {
+			t.Fatalf("value %d above bucket %d bound %d", v, i, BucketBound(i))
+		}
+		if i > 0 && v <= BucketBound(i-1) {
+			t.Fatalf("value %d not above bucket %d bound %d", v, i-1, BucketBound(i-1))
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*per {
+		t.Fatalf("count = %d, want %d", snap.Count, workers*per)
+	}
+	total := uint64(0)
+	for _, c := range snap.Counts {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("bucket total = %d, want %d", total, workers*per)
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Fatalf("Observe allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestHistogramWriteProm(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []uint64{0, 5, 5, 900, 1 << 50} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	h.Snapshot().WriteProm(&b, "x_seconds", "test family", 1e9)
+	out := b.String()
+	if !strings.HasPrefix(out, "# HELP x_seconds test family\n# TYPE x_seconds histogram\n") {
+		t.Fatalf("missing HELP/TYPE header:\n%s", out)
+	}
+	// Cumulative buckets must be monotonic and end at +Inf == count.
+	last, sawInf := uint64(0), false
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "x_seconds_bucket") {
+			continue
+		}
+		var cum uint64
+		if _, err := fmtSscanBucket(line, &cum); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if cum < last {
+			t.Fatalf("non-monotonic cumulative buckets:\n%s", out)
+		}
+		last = cum
+		sawInf = sawInf || strings.Contains(line, `le="+Inf"`)
+	}
+	if !sawInf {
+		t.Fatalf("no +Inf bucket:\n%s", out)
+	}
+	if last != 5 {
+		t.Fatalf("+Inf cumulative = %d, want 5:\n%s", last, out)
+	}
+	if !strings.Contains(out, "x_seconds_count 5\n") {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+}
+
+// fmtSscanBucket pulls the sample value off a _bucket line.
+func fmtSscanBucket(line string, cum *uint64) (int, error) {
+	fields := strings.Fields(line)
+	var err error
+	*cum, err = parseUint(fields[len(fields)-1])
+	return 1, err
+}
+
+func parseUint(s string) (uint64, error) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		v = v*10 + uint64(s[i]-'0')
+	}
+	return v, nil
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(3, 8)
+	sampledCorrs := []uint64{}
+	for i := 0; i < 10; i++ {
+		corr, sampled := tr.Admit()
+		if corr != uint64(i+1) {
+			t.Fatalf("corr = %d, want %d", corr, i+1)
+		}
+		if sampled {
+			sampledCorrs = append(sampledCorrs, corr)
+		}
+	}
+	want := []uint64{3, 6, 9}
+	if len(sampledCorrs) != len(want) {
+		t.Fatalf("sampled %v, want %v", sampledCorrs, want)
+	}
+	for i := range want {
+		if sampledCorrs[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", sampledCorrs, want)
+		}
+	}
+	if tr.Corrs() != 10 {
+		t.Fatalf("corrs = %d, want 10", tr.Corrs())
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(1, 4)
+	for i := 1; i <= 10; i++ {
+		tr.Record(&Span{Corr: uint64(i), Start: time.Now()})
+	}
+	got := tr.Traces(0)
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	for i, sp := range got {
+		if sp.Corr != uint64(7+i) {
+			t.Fatalf("span %d corr = %d, want %d (oldest-first)", i, sp.Corr, 7+i)
+		}
+	}
+	if got := tr.Traces(2); len(got) != 2 || got[1].Corr != 10 {
+		t.Fatalf("Traces(2) = %v", got)
+	}
+	if tr.Sampled() != 10 {
+		t.Fatalf("sampled = %d, want 10", tr.Sampled())
+	}
+}
+
+func TestSpanStampAllocs(t *testing.T) {
+	sp := &Span{}
+	if n := testing.AllocsPerRun(1000, func() { sp.Stamp(StageEncode, 7) }); n != 0 {
+		t.Fatalf("Stamp allocates %.1f/op, want 0", n)
+	}
+	var nilSpan *Span
+	nilSpan.Stamp(StageScore, 1) // must not panic
+}
+
+func TestJournalRingAndSince(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 7; i++ {
+		seq := j.Append(Event{Type: EvScrub, Detail: "pass"})
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if j.Seq() != 7 {
+		t.Fatalf("Seq = %d", j.Seq())
+	}
+	all := j.Events(0, 0)
+	if len(all) != 4 || all[0].Seq != 4 || all[3].Seq != 7 {
+		t.Fatalf("retained window wrong: %+v", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq != all[i-1].Seq+1 {
+			t.Fatalf("non-dense sequence: %+v", all)
+		}
+		if all[i].Time.Before(all[i-1].Time) {
+			t.Fatalf("time went backwards: %+v", all)
+		}
+	}
+	if got := j.Events(5, 0); len(got) != 2 || got[0].Seq != 6 {
+		t.Fatalf("Events(since=5) = %+v", got)
+	}
+	if got := j.Events(0, 2); len(got) != 2 || got[1].Seq != 7 {
+		t.Fatalf("Events(max=2) = %+v", got)
+	}
+	if got := j.Events(7, 0); len(got) != 0 {
+		t.Fatalf("Events(since=newest) = %+v", got)
+	}
+}
+
+func TestJournalPersistJSONL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	j := NewJournal(8)
+	j.Append(Event{Type: EvInject, Detail: "before persist (not mirrored)"})
+	if err := j.Persist(path); err != nil {
+		t.Fatal(err)
+	}
+	corr := j.NewCorr()
+	j.Append(Event{Type: EvScrub, Corr: corr, Learners: []int{2}})
+	j.Append(Event{Type: EvRepair, Corr: corr, Learners: []int{2}, Detail: "rethreshold"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []Event
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("mirrored %d events, want 2: %+v", len(lines), lines)
+	}
+	if lines[0].Type != EvScrub || lines[1].Type != EvRepair {
+		t.Fatalf("wrong order: %+v", lines)
+	}
+	if lines[0].Corr != corr || lines[1].Corr != corr {
+		t.Fatalf("correlation lost: %+v", lines)
+	}
+	if lines[1].Seq != lines[0].Seq+1 {
+		t.Fatalf("non-monotonic seq on disk: %+v", lines)
+	}
+}
+
+func TestStageStats(t *testing.T) {
+	s := NewStageStats()
+	var ns [NumStages]int64
+	ns[StageEncode], ns[StageScore] = 100, 300
+	s.Record("packed-binary", 32, &ns)
+	s.Record("packed-binary", 16, &ns)
+	ns[StageEncode], ns[StageScore] = 50, 70
+	s.Record("float", 8, &ns)
+	snaps := s.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshot = %+v", snaps)
+	}
+	if snaps[0].Backend != "packed-binary" || snaps[0].Rows != 48 || snaps[0].Batches != 2 {
+		t.Fatalf("packed slot = %+v", snaps[0])
+	}
+	if snaps[0].NS[StageEncode] != 200 || snaps[0].NS[StageScore] != 600 {
+		t.Fatalf("packed stage ns = %+v", snaps[0])
+	}
+	if snaps[1].Backend != "float" || snaps[1].NS[StageScore] != 70 {
+		t.Fatalf("float slot = %+v", snaps[1])
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var (
+		h  *Histogram
+		tr *Tracer
+		j  *Journal
+		st *StageStats
+	)
+	h.Observe(1)
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+	if corr, sampled := tr.Admit(); corr != 0 || sampled {
+		t.Fatal("nil tracer admitted")
+	}
+	tr.Record(&Span{})
+	if tr.Traces(0) != nil || tr.NextBatch() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+	if j.Append(Event{Type: EvSwap}) != 0 || j.Events(0, 0) != nil || j.NewCorr() != 0 {
+		t.Fatal("nil journal not inert")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var ns [NumStages]int64
+	st.Record("float", 1, &ns)
+	if st.Snapshot() != nil {
+		t.Fatal("nil stage stats not inert")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) * 7919)
+	}
+}
+
+func BenchmarkSpanStamp(b *testing.B) {
+	sp := &Span{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.Stamp(StageScore, int64(i))
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// StageTimes accumulates one batch call's per-phase engine wall time.
+// The engine's internal workers add block-granular measurements
+// atomically, so a single StageTimes can sit on the caller's stack
+// frame while the parallel encode/score workers fill it in.
+type StageTimes struct {
+	EncodeNS atomic.Int64
+	ScoreNS  atomic.Int64
+}
+
+// backendStages is the cumulative per-stage account for one backend.
+type backendStages struct {
+	name    string
+	ns      [NumStages]atomic.Int64
+	batches atomic.Uint64
+	rows    atomic.Uint64
+}
+
+// StageStats accumulates cumulative per-stage wall time per backend.
+// The record path is lock-free: an atomic slice snapshot is scanned
+// for the backend slot (at most a handful of entries — "float" and
+// "packed-binary" in practice); registration of a new backend is the
+// only mutex-guarded operation.
+type StageStats struct {
+	mu    sync.Mutex
+	slots atomic.Pointer[[]*backendStages]
+}
+
+// NewStageStats returns an empty accumulator.
+func NewStageStats() *StageStats {
+	s := &StageStats{}
+	empty := []*backendStages{}
+	s.slots.Store(&empty)
+	return s
+}
+
+func (s *StageStats) slot(backend string) *backendStages {
+	for _, b := range *s.slots.Load() {
+		if b.name == backend {
+			return b
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.slots.Load()
+	for _, b := range cur {
+		if b.name == backend {
+			return b
+		}
+	}
+	b := &backendStages{name: backend}
+	next := make([]*backendStages, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = b
+	s.slots.Store(&next)
+	return b
+}
+
+// Record adds one batch's stage times to a backend's cumulative
+// account. ns is indexed by the Stage* constants; zero entries are
+// added too (cheap) so callers can pass a partially filled array.
+// Nil receiver is a no-op.
+func (s *StageStats) Record(backend string, rows int, ns *[NumStages]int64) {
+	if s == nil {
+		return
+	}
+	b := s.slot(backend)
+	for i := 0; i < NumStages; i++ {
+		if ns[i] != 0 {
+			b.ns[i].Add(ns[i])
+		}
+	}
+	b.batches.Add(1)
+	b.rows.Add(uint64(rows))
+}
+
+// StageSnapshot is one backend's cumulative stage account.
+type StageSnapshot struct {
+	Backend string           `json:"backend"`
+	NS      [NumStages]int64 `json:"stage_ns"`
+	Batches uint64           `json:"batches"`
+	Rows    uint64           `json:"rows"`
+}
+
+// Snapshot returns the cumulative account per backend, in registration
+// order. Nil receiver returns nil.
+func (s *StageStats) Snapshot() []StageSnapshot {
+	if s == nil {
+		return nil
+	}
+	slots := *s.slots.Load()
+	out := make([]StageSnapshot, 0, len(slots))
+	for _, b := range slots {
+		snap := StageSnapshot{Backend: b.name, Batches: b.batches.Load(), Rows: b.rows.Load()}
+		for i := 0; i < NumStages; i++ {
+			snap.NS[i] = b.ns[i].Load()
+		}
+		out = append(out, snap)
+	}
+	return out
+}

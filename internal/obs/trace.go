@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage indices for Span timings, in pipeline order.
+//
+// Admission is HTTP parse + validation, Queue the micro-batcher
+// coalesce wait (enqueue → batch dispatch), Encode and Score the
+// engine's batch phases (Score includes the fused per-learner
+// aggregation — the scoring kernels interleave similarity and
+// alpha-weighted voting for bit-identity, so they are timed as one
+// phase), and Aggregate the batch epilogue: result assembly and
+// per-request delivery after the engine returns.
+const (
+	StageAdmission = iota
+	StageQueue
+	StageEncode
+	StageScore
+	StageAggregate
+	NumStages
+)
+
+// StageNames maps stage indices to exposition labels.
+var StageNames = [NumStages]string{"admission", "queue", "encode", "score", "aggregate"}
+
+// Span is one request's stage record, threaded from HTTP admission
+// through the micro-batcher into the engine. The serving layer embeds
+// it in its per-request state, so stamping a span never allocates;
+// only sampled spans are copied into the trace ring at completion.
+type Span struct {
+	Corr      uint64    `json:"corr"`
+	Batch     uint64    `json:"batch"`
+	Tenant    string    `json:"tenant,omitempty"`
+	Backend   string    `json:"backend,omitempty"`
+	BatchSize int       `json:"batch_size,omitempty"`
+	Start     time.Time `json:"start"`
+	// StageNS is indexed by the Stage* constants; the JSON array
+	// order matches StageNames.
+	StageNS [NumStages]int64 `json:"stage_ns"`
+	TotalNS int64            `json:"total_ns"`
+	Err     string           `json:"error,omitempty"`
+}
+
+// Stamp adds d to one stage's accumulated time. Nil receiver is a
+// no-op so unsampled requests can share the call sites.
+//
+//hd:hotpath
+func (sp *Span) Stamp(stage int, d int64) {
+	if sp == nil {
+		return
+	}
+	sp.StageNS[stage] += d
+}
+
+// Tracer mints correlation and batch IDs and keeps the bounded ring of
+// sampled spans behind GET /trace. ID minting is one atomic add;
+// sampling is a modulus on the correlation ID, so "every Nth request"
+// holds exactly without per-request randomness.
+type Tracer struct {
+	every uint64 // sample every Nth request; 0 disables sampling
+	corr  atomic.Uint64
+	batch atomic.Uint64
+
+	mu   sync.Mutex
+	ring []Span
+	n    uint64 // total spans recorded; ring cursor = n % len(ring)
+}
+
+// NewTracer builds a tracer sampling every Nth admitted request into a
+// ring of ringCap spans. sampleEvery <= 0 disables sampling (IDs are
+// still minted); ringCap <= 0 defaults to 256.
+func NewTracer(sampleEvery, ringCap int) *Tracer {
+	if ringCap <= 0 {
+		ringCap = 256
+	}
+	t := &Tracer{ring: make([]Span, ringCap)}
+	if sampleEvery > 0 {
+		t.every = uint64(sampleEvery)
+	}
+	return t
+}
+
+// Admit mints the request's correlation ID and reports whether this
+// request is sampled. Nil receiver mints nothing and never samples.
+func (t *Tracer) Admit() (corr uint64, sampled bool) {
+	if t == nil {
+		return 0, false
+	}
+	corr = t.corr.Add(1)
+	return corr, t.every > 0 && corr%t.every == 0
+}
+
+// NextBatch mints a batch ID for one coalesced flush. Nil-safe.
+func (t *Tracer) NextBatch() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.batch.Add(1)
+}
+
+// Record copies a completed sampled span into the ring.
+func (t *Tracer) Record(sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.n%uint64(len(t.ring))] = *sp
+	t.n++
+	t.mu.Unlock()
+}
+
+// Traces returns up to max sampled spans, oldest first. max <= 0
+// returns the whole retained window.
+func (t *Tracer) Traces(max int) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.n
+	if kept > uint64(len(t.ring)) {
+		kept = uint64(len(t.ring))
+	}
+	if max > 0 && uint64(max) < kept {
+		kept = uint64(max)
+	}
+	out := make([]Span, 0, kept)
+	for i := t.n - kept; i < t.n; i++ {
+		out = append(out, t.ring[i%uint64(len(t.ring))])
+	}
+	return out
+}
+
+// SampleEvery reports the sampling period (0 = disabled).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
+// Sampled reports how many spans have been recorded in total.
+func (t *Tracer) Sampled() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Corrs reports how many correlation IDs have been minted.
+func (t *Tracer) Corrs() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.corr.Load()
+}

@@ -51,6 +51,7 @@ import (
 
 	"boosthd/internal/boosthd"
 	"boosthd/internal/infer"
+	"boosthd/internal/obs"
 	"boosthd/internal/serve"
 )
 
@@ -109,6 +110,11 @@ type Config struct {
 	// ones). Writes are atomic; a failed write is recorded in Status's
 	// LastError rather than failing the pass.
 	StatePath string
+	// Journal, when set, receives a typed event for every non-clean
+	// scrub verdict, quarantine/mask change, repair attempt, and
+	// baseline adoption, each pass grouped under one correlation ID.
+	// Nil disables journaling at the cost of a nil check per event.
+	Journal *obs.Journal
 	// TrustVersioned treats a learner whose version counter advanced
 	// since signing as legitimately mutated (streaming online updates,
 	// in-place fits): it is re-signed instead of flagged. Prefer
@@ -379,6 +385,9 @@ type Monitor struct {
 	// checkpoint of a DIFFERENT model would graft stale weights into
 	// the new one and re-sign the chimera as healthy.
 	ckptArmed bool
+	// passCorr is the journal correlation ID of the Scrub/Repair pass
+	// currently holding passMu; every event the pass appends shares it.
+	passCorr uint64
 
 	scrubs      atomic.Uint64
 	detections  atomic.Uint64
@@ -695,6 +704,7 @@ func (mo *Monitor) NoteMutation(learners []int) {
 func (mo *Monitor) Scrub() (ScrubReport, error) {
 	mo.passMu.Lock()
 	defer mo.passMu.Unlock()
+	mo.passCorr = mo.cfg.Journal.NewCorr()
 	// Registered before the state lock's defer, so it runs after mu is
 	// released: the durable ledger snapshot reflects this pass's verdicts.
 	defer mo.persistState()
@@ -926,6 +936,28 @@ func (mo *Monitor) Scrub() (ScrubReport, error) {
 		report.DimMasked = append(report.DimMasked, i)
 		changed = true
 	}
+	// Journal the pass verdict before the mask install, so the
+	// engine_swap event of a landed install orders after its cause.
+	if len(report.IntegrityFaults) > 0 || len(report.CanaryFaults) > 0 {
+		mo.journal(obs.Event{Type: obs.EvScrub,
+			Learners: append(append([]int(nil), report.IntegrityFaults...), report.CanaryFaults...),
+			Detail:   fmt.Sprintf("integrity faults %v, canary faults %v", report.IntegrityFaults, report.CanaryFaults)})
+	}
+	if len(report.Quarantined) > 0 {
+		mo.journal(obs.Event{Type: obs.EvQuarantine, Learners: report.Quarantined,
+			Detail: "alpha-masked out of the vote"})
+	}
+	for _, i := range report.DimMasked {
+		e := mo.ledger[i]
+		var segs []int
+		for s, bad := range e.maskedSeg {
+			if bad {
+				segs = append(segs, s)
+			}
+		}
+		mo.journal(obs.Event{Type: obs.EvDimMask, Learners: []int{i}, Segments: segs,
+			Detail: fmt.Sprintf("voting from %.0f%% healthy dimensions", 100*e.healthyFraction(segWords))})
+	}
 	report.MaskedWords = mo.totalMaskedWordsLocked()
 	if changed {
 		mo.autoStuck = false // the picture changed; repair may retry
@@ -967,6 +999,8 @@ func (mo *Monitor) adoptForeignLocked(eng *infer.Engine) {
 		mo.ckptArmed = false
 		mo.lastErr = "serving engine changed hands; checkpoint repair disarmed until SetCheckpoint"
 	}
+	mo.journal(obs.Event{Type: obs.EvAdopt, Version: mo.srv.ModelVersion(),
+		Detail: "serving engine changed hands; re-signed as new baseline"})
 }
 
 // healthyMasksLocked assembles the per-learner healthy-dimension masks
@@ -1030,6 +1064,7 @@ func (mo *Monitor) installMaskLocked() (bool, error) {
 func (mo *Monitor) Repair() (RepairReport, error) {
 	mo.passMu.Lock()
 	defer mo.passMu.Unlock()
+	mo.passCorr = mo.cfg.Journal.NewCorr()
 	// Runs after mu's deferred unlock (LIFO), so the durable ledger
 	// snapshot includes this pass's repair counts.
 	defer mo.persistState()
@@ -1277,6 +1312,10 @@ func (mo *Monitor) Repair() (RepairReport, error) {
 		report.Repaired = append(report.Repaired, i)
 	}
 	if len(report.Repaired) > 0 {
+		mo.journal(obs.Event{Type: obs.EvRepair, Learners: report.Repaired,
+			Detail: fmt.Sprintf("source=%s segments=%d", report.Source, report.Segments)})
+		mo.journal(obs.Event{Type: obs.EvUnmask, Learners: report.Repaired,
+			Detail: "restored to full vote"})
 		swapped, err := mo.installMaskLocked()
 		if err != nil {
 			mo.lastErr = err.Error()
@@ -1331,6 +1370,10 @@ func (mo *Monitor) repairFrozenLocked(report RepairReport, affected []int) (Repa
 	report.Swapped = true
 	mo.repairs.Add(uint64(len(affected)))
 	mo.lastErr = ""
+	mo.journal(obs.Event{Type: obs.EvRepair, Learners: affected,
+		Detail: "source=checkpoint (frozen snapshot reload)"})
+	mo.journal(obs.Event{Type: obs.EvUnmask, Learners: affected,
+		Detail: "restored to full vote"})
 	return report, nil
 }
 
@@ -1362,6 +1405,10 @@ func (mo *Monitor) repairViaTrainerLocked(report RepairReport, affected []int) (
 	report.Swapped = true
 	mo.repairs.Add(uint64(len(affected)))
 	mo.lastErr = ""
+	mo.journal(obs.Event{Type: obs.EvRepair, Learners: affected,
+		Detail: "source=trainer retrain"})
+	mo.journal(obs.Event{Type: obs.EvUnmask, Learners: affected,
+		Detail: "restored to full vote"})
 	return report, nil
 }
 
@@ -1371,7 +1418,20 @@ func (mo *Monitor) failRepair(report *RepairReport, failed []int, err error) err
 	report.Failed = append(report.Failed, failed...)
 	mo.repairFails.Add(uint64(len(failed)))
 	mo.lastErr = err.Error()
+	mo.journal(obs.Event{Type: obs.EvRepair, Learners: failed,
+		Detail: "failed: " + err.Error()})
 	return err
+}
+
+// journal appends an event stamped with the running pass's correlation
+// ID. Without a configured journal it is a no-op; the journal mutex is
+// a leaf, so appending with mo.mu held is safe.
+func (mo *Monitor) journal(e obs.Event) {
+	if mo.cfg.Journal == nil {
+		return
+	}
+	e.Corr = mo.passCorr
+	mo.cfg.Journal.Append(e)
 }
 
 // Status snapshots the health ledger and counters for /reliability and

@@ -13,6 +13,7 @@ import (
 
 	"boosthd/internal/boosthd"
 	"boosthd/internal/infer"
+	"boosthd/internal/obs"
 )
 
 // Trainer is the streaming continual-learning hook the HTTP layer can
@@ -244,6 +245,8 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("/inject", h.inject)
 	mux.HandleFunc("/tenants", h.tenants)
 	mux.HandleFunc("/t/", h.tenantRoute)
+	mux.HandleFunc("/trace", h.trace)
+	mux.HandleFunc("/events", h.events)
 	return mux
 }
 
@@ -329,6 +332,14 @@ func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
 	if !wantMethod(w, r, http.MethodPost) {
 		return
 	}
+	// Admission starts at body decode; the span records it only for
+	// sampled requests, but the clock read is deferred until we know
+	// observability is wired at all.
+	o := h.s.Obs()
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
 	var req struct {
 		Features []float64 `json:"features"`
 	}
@@ -353,7 +364,25 @@ func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]int{"label": label})
 		return
 	}
-	label, err := h.s.Predict(req.Features)
+	// Trace sampling covers the micro-batcher path: every request
+	// mints a correlation ID, and every Nth carries a full span
+	// through admission → queue → engine stages → delivery.
+	var sp *obs.Span
+	if o != nil {
+		corr, sampled := o.Tracer.Admit()
+		if sampled {
+			sp = &obs.Span{Corr: corr, Start: t0}
+			sp.Stamp(obs.StageAdmission, time.Since(t0).Nanoseconds())
+		}
+	}
+	label, err := h.s.PredictSpan(req.Features, sp)
+	if sp != nil {
+		sp.TotalNS = time.Since(t0).Nanoseconds()
+		if err != nil {
+			sp.Err = err.Error()
+		}
+		o.Tracer.Record(sp)
+	}
 	if err != nil {
 		httpError(w, predictStatus(err), err)
 		return
@@ -420,6 +449,15 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 		"mean_batch":  st.MeanBatch,
 		"swaps":       st.Swaps,
 		"queue_depth": st.QueueDepth,
+		// Batcher internals: how deep the coalescing queue runs and
+		// which exit the collect loop takes — straggler-timer fires
+		// mean short batches linger the full MaxWait, lone-caller
+		// fast-path hits mean single requests skip the wait entirely.
+		"batcher": map[string]any{
+			"queue_depth":     st.QueueDepth,
+			"straggler_fires": st.StragglerFires,
+			"lone_fast_path":  st.LoneFastPath,
+		},
 		// Model identity: backend + projection + serving-engine
 		// generation, so an operator can confirm a swap / quarantine /
 		// repair landed (the version advances on every installed engine)
@@ -669,6 +707,12 @@ func (h *handler) inject(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, predictStatus(err), err)
 		return
+	}
+	if o := h.s.Obs(); o != nil {
+		o.Journal.Append(obs.Event{
+			Type:   obs.EvInject,
+			Detail: fmt.Sprintf("pb=%g flips=%d", req.Pb, flips),
+		})
 	}
 	writeJSON(w, map[string]int{"flips": flips})
 }

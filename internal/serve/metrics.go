@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+
+	"boosthd/internal/obs"
 )
 
 // metrics answers GET /metrics in the Prometheus text exposition format
@@ -32,11 +34,47 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	gauge("boosthd_batch_size_mean", "Mean coalesced batch size since start.", st.MeanBatch)
 	counter("boosthd_swaps_total", "Serving engines installed (hot swaps, repairs, retrains).", float64(st.Swaps))
 	gauge("boosthd_queue_depth", "Requests currently queued in the micro-batcher.", float64(st.QueueDepth))
+	counter("boosthd_straggler_fires_total", "Batches flushed by the MaxWait straggler timer before filling.", float64(st.StragglerFires))
+	counter("boosthd_lone_fastpath_total", "Batches that skipped the straggler wait on the lone-caller fast path.", float64(st.LoneFastPath))
 	gauge("boosthd_model_version", "Generation of the installed serving engine.", float64(st.ModelVersion))
 	gauge("boosthd_encoder_state_bytes", "Resident memory of the serving encoder stack (O(1) for the rematerialized projection).", float64(st.EncoderStateBytes))
 	fmt.Fprintf(&b, "# HELP boosthd_model_info Serving model identity; constant 1, labeled by backend and encoder projection mode.\n")
 	fmt.Fprintf(&b, "# TYPE boosthd_model_info gauge\n")
 	fmt.Fprintf(&b, "boosthd_model_info{backend=%q,projection=%q} 1\n", st.Backend, st.Projection)
+
+	if o := h.s.Obs(); o != nil {
+		// Latency distributions from the lock-free sharded histograms
+		// (power-of-two buckets, shards merged here at scrape time).
+		o.ReqLatency.Snapshot().WriteProm(&b, "boosthd_request_seconds",
+			"End-to-end request latency through the micro-batcher.", 1e9)
+		o.BatchWait.Snapshot().WriteProm(&b, "boosthd_batch_wait_seconds",
+			"Coalesce wait per flushed batch (first enqueue to dispatch).", 1e9)
+		o.BatchSize.Snapshot().WriteProm(&b, "boosthd_batch_size_rows",
+			"Rows per engine batch call.", 1)
+		o.EncodeTime.Snapshot().WriteProm(&b, "boosthd_encode_seconds",
+			"Engine encode phase wall time per batch.", 1e9)
+		o.ScoreTime.Snapshot().WriteProm(&b, "boosthd_score_seconds",
+			"Engine score phase wall time per batch (includes the fused aggregation).", 1e9)
+		if h.cfg.Tenants != nil {
+			o.ColdLoad.Snapshot().WriteProm(&b, "boosthd_tenant_cold_load_seconds",
+				"Tenant cold-load latency (delta store read + view build).", 1e9)
+		}
+		if stages := o.Stages.Snapshot(); len(stages) > 0 {
+			fmt.Fprintf(&b, "# HELP boosthd_stage_seconds_total Cumulative serving-pipeline stage wall time per backend.\n")
+			fmt.Fprintf(&b, "# TYPE boosthd_stage_seconds_total counter\n")
+			for _, ss := range stages {
+				for i, name := range obs.StageNames {
+					if ss.NS[i] != 0 {
+						fmt.Fprintf(&b, "boosthd_stage_seconds_total{backend=%q,stage=%q} %g\n",
+							ss.Backend, name, float64(ss.NS[i])/1e9)
+					}
+				}
+			}
+		}
+		gauge("boosthd_trace_sample_every", "Trace sampling period (0 = sampling disabled).", float64(o.Tracer.SampleEvery()))
+		counter("boosthd_trace_sampled_total", "Full stage traces captured into the /trace ring.", float64(o.Tracer.Sampled()))
+		counter("boosthd_events_total", "Reliability/tenant events appended to the /events journal.", float64(o.Journal.Seq()))
+	}
 
 	if h.cfg.Trainer != nil {
 		tst := h.cfg.Trainer.Status()

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"boosthd/internal/obs"
+)
+
+// trace answers GET /trace: the sampled stage traces retained in the
+// tracer ring plus the cumulative per-backend stage accounting — where
+// requests spend their time (admission → queue → encode → score →
+// aggregate), both as individual sampled requests and in aggregate.
+// Read-only and open like /healthz; 404 unless observability is wired.
+// ?n= caps the returned traces (default all retained).
+func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodGet) {
+		return
+	}
+	o := h.s.Obs()
+	if o == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: observability not configured"))
+		return
+	}
+	max := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad trace count %q", ErrBadInput, v))
+			return
+		}
+		max = n
+	}
+	type stageJSON struct {
+		Backend      string             `json:"backend"`
+		Batches      uint64             `json:"batches"`
+		Rows         uint64             `json:"rows"`
+		StageSeconds map[string]float64 `json:"stage_seconds"`
+	}
+	stages := []stageJSON{}
+	for _, ss := range o.Stages.Snapshot() {
+		sj := stageJSON{Backend: ss.Backend, Batches: ss.Batches, Rows: ss.Rows,
+			StageSeconds: make(map[string]float64, obs.NumStages)}
+		for i, name := range obs.StageNames {
+			sj.StageSeconds[name] = float64(ss.NS[i]) / 1e9
+		}
+		stages = append(stages, sj)
+	}
+	type traceJSON struct {
+		Corr      uint64           `json:"corr"`
+		Batch     uint64           `json:"batch"`
+		Tenant    string           `json:"tenant,omitempty"`
+		Backend   string           `json:"backend,omitempty"`
+		BatchSize int              `json:"batch_size,omitempty"`
+		Start     time.Time        `json:"start"`
+		StageNS   map[string]int64 `json:"stage_ns"`
+		TotalNS   int64            `json:"total_ns"`
+		Err       string           `json:"error,omitempty"`
+	}
+	spans := o.Tracer.Traces(max)
+	traces := make([]traceJSON, 0, len(spans))
+	for _, sp := range spans {
+		tj := traceJSON{
+			Corr: sp.Corr, Batch: sp.Batch, Tenant: sp.Tenant,
+			Backend: sp.Backend, BatchSize: sp.BatchSize,
+			Start: sp.Start, TotalNS: sp.TotalNS, Err: sp.Err,
+			StageNS: make(map[string]int64, obs.NumStages),
+		}
+		for i, name := range obs.StageNames {
+			tj.StageNS[name] = sp.StageNS[i]
+		}
+		traces = append(traces, tj)
+	}
+	writeJSON(w, map[string]any{
+		"sample_every": o.Tracer.SampleEvery(),
+		"requests":     o.Tracer.Corrs(),
+		"sampled":      o.Tracer.Sampled(),
+		"stages":       stages,
+		"traces":       traces,
+	})
+}
+
+// events answers GET /events: the reliability/tenant event journal —
+// every scrub verdict, quarantine, repair, swap, retrain, and tenant
+// residency action, as typed events with a monotonic sequence, wall
+// time, and correlation/learner/segment/tenant attribution. Clients
+// poll incrementally with ?since=<seq> (events strictly after it) and
+// cap the page with ?n=. Read-only and open like /healthz.
+func (h *handler) events(w http.ResponseWriter, r *http.Request) {
+	if !wantMethod(w, r, http.MethodGet) {
+		return
+	}
+	o := h.s.Obs()
+	if o == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: observability not configured"))
+		return
+	}
+	q := r.URL.Query()
+	since := uint64(0)
+	if v := q.Get("since"); v != "" {
+		s, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad since %q", ErrBadInput, v))
+			return
+		}
+		since = s
+	}
+	max := 0
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("%w: bad event count %q", ErrBadInput, v))
+			return
+		}
+		max = n
+	}
+	events := o.Journal.Events(since, max)
+	writeJSON(w, map[string]any{
+		"seq":    o.Journal.Seq(),
+		"events": events,
+	})
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"boosthd/internal/obs"
+)
+
+// TestObservabilitySoak hammers a traced server with 64 concurrent
+// clients that interleave predictions with /trace, /events, and
+// /metrics reads while journal events stream in — the -race soak for
+// the whole observability surface: sampled span capture racing ring
+// reads, histogram shards racing scrape merges, and journal appends
+// racing incremental ?since= polls. Every response must be well-formed
+// throughout.
+func TestObservabilitySoak(t *testing.T) {
+	ts, s, X := httpFixture(t, HandlerConfig{})
+	o := obs.NewServing(3, 64, 128)
+	s.SetObs(o)
+
+	const clients = 64
+	const iters = 30
+	one, _ := json.Marshal(map[string]any{"features": X[0]})
+	var clientWG, writerWG sync.WaitGroup
+	var fails atomic.Uint64
+	stop := make(chan struct{})
+
+	// A background writer keeps the journal moving (tenant/reliability
+	// subsystems would in production), so /events readers race appends
+	// and the ring wraps mid-soak.
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			o.Journal.Append(obs.Event{Type: obs.EvScrub, Detail: fmt.Sprintf("soak %d", i)})
+		}
+	}()
+
+	get := func(path string) error {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+	clientWG.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer clientWG.Done()
+			for k := 0; k < iters; k++ {
+				var err error
+				switch (c + k) % 4 {
+				case 0:
+					err = get("/trace?n=16")
+				case 1:
+					err = get(fmt.Sprintf("/events?since=%d&n=32", k))
+				case 2:
+					err = get("/metrics")
+				default:
+					resp, perr := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(one))
+					if perr != nil {
+						err = perr
+					} else {
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK {
+							err = fmt.Errorf("/predict: status %d", resp.StatusCode)
+						}
+					}
+				}
+				if err != nil {
+					fails.Add(1)
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	clientWG.Wait()
+	close(stop)
+	writerWG.Wait()
+
+	if fails.Load() > 0 {
+		t.Fatalf("%d soak requests failed", fails.Load())
+	}
+
+	// The tracer really sampled under load, and the trace payload is
+	// structurally sound.
+	resp, err := http.Get(ts.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr struct {
+		SampleEvery int              `json:"sample_every"`
+		Requests    uint64           `json:"requests"`
+		Sampled     uint64           `json:"sampled"`
+		Traces      []map[string]any `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.SampleEvery != 3 || tr.Sampled == 0 || len(tr.Traces) == 0 {
+		t.Fatalf("tracer captured nothing under load: %+v", tr)
+	}
+	if tr.Requests < tr.Sampled {
+		t.Fatalf("requests %d < sampled %d", tr.Requests, tr.Sampled)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"boosthd/internal/infer"
+	"boosthd/internal/obs"
 )
 
 // Config tunes the micro-batcher.
@@ -63,9 +64,15 @@ func (c Config) withDefaults() Config {
 }
 
 // request is one queued prediction; done receives exactly one result.
+// enq is stamped at enqueue when observability is wired (zero
+// otherwise) and span carries the caller's trace record for sampled
+// requests — the worker fills its queue/batch stages before delivering
+// the result, so the caller reads a complete span after done.
 type request struct {
 	x    []float64
 	done chan result
+	enq  time.Time
+	span *obs.Span
 }
 
 type result struct {
@@ -95,6 +102,12 @@ type Stats struct {
 	// seeded-stored, seeded), the axis the paper's memory/latency
 	// trade-off sweeps.
 	Projection string
+	// StragglerFires counts batches flushed because the MaxWait
+	// straggler timer expired before the batch filled.
+	StragglerFires uint64
+	// LoneFastPath counts batches that skipped the straggler wait
+	// entirely on the lone-caller fast path.
+	LoneFastPath uint64
 }
 
 // Server fronts a hot-swappable engine with the micro-batcher. All
@@ -111,6 +124,13 @@ type Server struct {
 	served  atomic.Uint64
 	batches atomic.Uint64
 	swaps   atomic.Uint64
+
+	stragglers atomic.Uint64 // MaxWait timer fires
+	loneHits   atomic.Uint64 // lone-caller fast-path batches
+
+	// obs is the optional observability bundle; nil (never wired)
+	// costs one atomic load and a branch per batch.
+	obs atomic.Pointer[obs.Serving]
 }
 
 // ErrClosed is returned by predictions issued after Close.
@@ -144,6 +164,14 @@ func NewServer(eng *infer.Engine, cfg Config) (*Server, error) {
 // Config returns the resolved batching policy.
 func (s *Server) Config() Config { return s.cfg }
 
+// SetObs wires the observability bundle: request/batch histograms,
+// per-backend stage timing, trace sampling, and engine-swap journal
+// events. Safe to call at any time; nil detaches.
+func (s *Server) SetObs(o *obs.Serving) { s.obs.Store(o) }
+
+// Obs returns the wired observability bundle, or nil.
+func (s *Server) Obs() *obs.Serving { return s.obs.Load() }
+
 // Engine returns the engine currently serving.
 func (s *Server) Engine() *infer.Engine { return s.engine.Load() }
 
@@ -157,6 +185,7 @@ func (s *Server) Swap(eng *infer.Engine) error {
 	}
 	s.engine.Store(eng)
 	s.swaps.Add(1)
+	s.noteSwap(eng)
 	return nil
 }
 
@@ -175,7 +204,20 @@ func (s *Server) SwapIf(old, eng *infer.Engine) (bool, error) {
 		return false, nil
 	}
 	s.swaps.Add(1)
+	s.noteSwap(eng)
 	return true, nil
+}
+
+// noteSwap journals an engine install. The journal mutex is a leaf, so
+// this is safe from any swap caller (operator, trainer, monitor).
+func (s *Server) noteSwap(eng *infer.Engine) {
+	if o := s.obs.Load(); o != nil {
+		o.Journal.Append(obs.Event{
+			Type:    obs.EvSwap,
+			Version: s.swaps.Load() + 1,
+			Detail:  eng.Backend().String(),
+		})
+	}
 }
 
 // ModelVersion returns the serving engine generation: 1 for the engine
@@ -190,10 +232,24 @@ func (s *Server) ModelVersion() uint64 { return s.swaps.Load() + 1 }
 // alone, not poison the whole batch it would have coalesced into (the
 // engine rejects mixed-width batches wholesale).
 func (s *Server) Predict(x []float64) (int, error) {
+	return s.PredictSpan(x, nil)
+}
+
+// PredictSpan is Predict carrying a trace span: when sp is non-nil
+// (the request was sampled at admission) the batcher fills its queue,
+// encode, score, and aggregate stages plus batch attribution before
+// the result is delivered, so the caller owns a complete span
+// afterwards. Unsampled requests pass nil and pay nothing beyond the
+// shared batch instrumentation.
+func (s *Server) PredictSpan(x []float64, sp *obs.Span) (int, error) {
 	if want := s.engine.Load().InputDim(); len(x) != want {
 		return 0, fmt.Errorf("%w: feature length %d, model expects %d", ErrBadInput, len(x), want)
 	}
-	req := &request{x: x, done: make(chan result, 1)}
+	req := &request{x: x, done: make(chan result, 1), span: sp}
+	o := s.obs.Load()
+	if o != nil {
+		req.enq = time.Now()
+	}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -202,6 +258,9 @@ func (s *Server) Predict(x []float64) (int, error) {
 	s.reqs <- req
 	s.mu.RUnlock()
 	res := <-req.done
+	if o != nil && !req.enq.IsZero() {
+		o.ReqLatency.Observe(uint64(time.Since(req.enq).Nanoseconds()))
+	}
 	return res.label, res.err
 }
 
@@ -215,11 +274,29 @@ func (s *Server) PredictBatch(X [][]float64) ([]int, error) {
 		return nil, ErrClosed
 	}
 	s.mu.RUnlock()
-	preds, err := s.engine.Load().PredictBatch(X)
+	eng := s.engine.Load()
+	o := s.obs.Load()
+	if o == nil {
+		preds, err := eng.PredictBatch(X)
+		if err == nil {
+			s.served.Add(uint64(len(X)))
+			s.batches.Add(1)
+		}
+		return preds, err
+	}
+	var st obs.StageTimes
+	preds, err := eng.PredictBatchStaged(X, &st)
 	if err == nil {
 		s.served.Add(uint64(len(X)))
 		s.batches.Add(1)
 	}
+	o.BatchSize.Observe(uint64(len(X)))
+	encNS, scoNS := st.EncodeNS.Load(), st.ScoreNS.Load()
+	o.EncodeTime.Observe(uint64(encNS))
+	o.ScoreTime.Observe(uint64(scoNS))
+	var ns [obs.NumStages]int64
+	ns[obs.StageEncode], ns[obs.StageScore] = encNS, scoNS
+	o.Stages.Record(eng.Backend().String(), len(X), &ns)
 	return preds, err
 }
 
@@ -244,6 +321,8 @@ func (s *Server) Stats() Stats {
 		ModelVersion:      swaps + 1,
 		EncoderStateBytes: m.EncoderStateBytes(),
 		Projection:        m.Cfg.Projection.String(),
+		StragglerFires:    s.stragglers.Load(),
+		LoneFastPath:      s.loneHits.Load(),
 	}
 }
 
@@ -318,6 +397,7 @@ func (s *Server) collect(pending []*request, prev int) ([]*request, bool) {
 			break
 		}
 		if len(pending) == 1 {
+			s.loneHits.Add(1)
 			return pending, true
 		}
 		if len(pending) >= s.cfg.MaxBatch {
@@ -334,10 +414,52 @@ func (s *Server) collect(pending []*request, prev int) ([]*request, bool) {
 			}
 			pending = append(pending, r)
 		case <-timer.C:
+			s.stragglers.Add(1)
 			return pending, true
 		}
 	}
 	return pending, true
+}
+
+// executeObserved is the worker's batch execution with observability
+// wired: batch wait/size and engine stage histograms, cumulative
+// per-backend stage accounting, a batch ID per coalesced flush, and
+// span stages for sampled requests. Spans are written before the
+// worker delivers results, so the caller side never races the fill.
+func (s *Server) executeObserved(o *obs.Serving, eng *infer.Engine, pending []*request, rows [][]float64) ([]int, error) {
+	dispatch := time.Now()
+	batchID := o.Tracer.NextBatch()
+	if !pending[0].enq.IsZero() {
+		o.BatchWait.Observe(uint64(dispatch.Sub(pending[0].enq).Nanoseconds()))
+	}
+	o.BatchSize.Observe(uint64(len(rows)))
+	var st obs.StageTimes
+	preds, err := eng.PredictBatchStaged(rows, &st)
+	done := time.Now()
+	encNS, scoNS := st.EncodeNS.Load(), st.ScoreNS.Load()
+	o.EncodeTime.Observe(uint64(encNS))
+	o.ScoreTime.Observe(uint64(scoNS))
+	backend := eng.Backend().String()
+	for _, r := range pending {
+		sp := r.span
+		if sp == nil {
+			continue
+		}
+		sp.Batch = batchID
+		sp.Backend = backend
+		sp.BatchSize = len(rows)
+		if !r.enq.IsZero() {
+			sp.Stamp(obs.StageQueue, dispatch.Sub(r.enq).Nanoseconds())
+		}
+		sp.Stamp(obs.StageEncode, encNS)
+		sp.Stamp(obs.StageScore, scoNS)
+		sp.Stamp(obs.StageAggregate, time.Since(done).Nanoseconds())
+	}
+	var ns [obs.NumStages]int64
+	ns[obs.StageEncode], ns[obs.StageScore] = encNS, scoNS
+	ns[obs.StageAggregate] = time.Since(done).Nanoseconds()
+	o.Stages.Record(backend, len(rows), &ns)
+	return preds, err
 }
 
 // worker runs the batch loop: collect, execute on the engine loaded at
@@ -358,7 +480,15 @@ func (s *Server) worker() {
 			for _, r := range pending {
 				rows = append(rows, r.x)
 			}
-			preds, err := s.engine.Load().PredictBatch(rows)
+			eng := s.engine.Load()
+			o := s.obs.Load()
+			var preds []int
+			var err error
+			if o == nil {
+				preds, err = eng.PredictBatch(rows)
+			} else {
+				preds, err = s.executeObserved(o, eng, pending, rows)
+			}
 			if err == nil && len(preds) != len(pending) {
 				err = fmt.Errorf("serve: engine returned %d predictions for %d rows", len(preds), len(pending))
 			}

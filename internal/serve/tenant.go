@@ -14,6 +14,7 @@ import (
 	"boosthd/internal/boosthd"
 	"boosthd/internal/hdc"
 	"boosthd/internal/infer"
+	"boosthd/internal/obs"
 )
 
 // ErrNoDelta is returned by a DeltaStore whose tenant has no persisted
@@ -283,6 +284,15 @@ func (r *TenantRegistry) Resolve(id string) (*infer.Engine, error) {
 	return r.resolveCold(id)
 }
 
+// journal appends a tenant event to the server's observability journal
+// when one is wired; without one the call costs a single atomic load.
+// The journal mutex is a leaf, so appending under r.mu is safe.
+func (r *TenantRegistry) journal(e obs.Event) {
+	if o := r.srv.Obs(); o != nil {
+		o.Journal.Append(e)
+	}
+}
+
 // rebuildLocked re-bases a resident entry after a base swap: the delta
 // view is rebuilt over the adopted engine, and when the base fingerprint
 // moved (a full retrain, not a quarantine mask) the delta is re-persisted
@@ -306,6 +316,8 @@ func (r *TenantRegistry) rebuildLocked(e *tenantEntry) (*infer.Engine, error) {
 		e.eng = r.base
 		e.gen = r.baseGen
 		e.fp = r.baseFP
+		r.journal(obs.Event{Type: obs.EvTenantRebuild, Tenant: e.id,
+			Version: r.srvGen, Detail: "delta incompatible with new base; dropped to base passthrough"})
 		return e.eng, nil
 	}
 	if e.fp != r.baseFP {
@@ -319,6 +331,8 @@ func (r *TenantRegistry) rebuildLocked(e *tenantEntry) (*infer.Engine, error) {
 	e.eng = eng
 	e.gen = r.baseGen
 	e.fp = r.baseFP
+	r.journal(obs.Event{Type: obs.EvTenantRebuild, Tenant: e.id, Version: r.srvGen,
+		Detail: "delta view rebuilt over new base"})
 	return e.eng, nil
 }
 
@@ -332,11 +346,17 @@ func (r *TenantRegistry) resolveCold(id string) (*infer.Engine, error) {
 	if err := ValidTenantID(id); err != nil {
 		return nil, err
 	}
+	o := r.srv.Obs()
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
 	r.mu.Lock()
 	r.adoptBaseLocked()
 	base, fp, gen := r.base, r.baseFP, r.baseGen
 	r.mu.Unlock()
 
+	detail := "base passthrough (no delta)"
 	d, err := r.store.Load(id, base.Model(), fp)
 	switch {
 	case err == nil:
@@ -346,6 +366,7 @@ func (r *TenantRegistry) resolveCold(id string) (*infer.Engine, error) {
 	case errors.Is(err, boosthd.ErrBaseMismatch):
 		r.mismatches.Add(1)
 		r.setLastErr(err)
+		detail = "delta rejected: base fingerprint mismatch; base passthrough"
 		d = nil
 	default:
 		r.setLastErr(err)
@@ -362,6 +383,11 @@ func (r *TenantRegistry) resolveCold(id string) (*infer.Engine, error) {
 		e.eng = eng
 		e.sig = signDelta(d)
 		e.bytes = d.MemoryBytes()
+		detail = fmt.Sprintf("delta loaded (%d bytes)", e.bytes)
+	}
+	if o != nil {
+		o.ColdLoad.Observe(uint64(time.Since(t0).Nanoseconds()))
+		o.Journal.Append(obs.Event{Type: obs.EvTenantColdLoad, Tenant: id, Detail: detail})
 	}
 
 	r.mu.Lock()
@@ -444,6 +470,7 @@ func (r *TenantRegistry) Evict(id string) bool {
 		return false
 	}
 	r.removeLocked(el)
+	r.journal(obs.Event{Type: obs.EvTenantEvict, Tenant: id, Detail: "operator evict"})
 	return true
 }
 
@@ -463,8 +490,10 @@ func (r *TenantRegistry) evictLocked() {
 		if el == nil {
 			return
 		}
+		id := el.Value.(*tenantEntry).id
 		r.removeLocked(el)
 		r.evictions.Add(1)
+		r.journal(obs.Event{Type: obs.EvTenantEvict, Tenant: id, Detail: "lru capacity"})
 	}
 }
 
@@ -537,6 +566,8 @@ func (r *TenantRegistry) ScrubTenants() (scrubbed, corrupted int) {
 				r.removeLocked(el)
 				r.corruptions.Add(1)
 				corrupted++
+				r.journal(obs.Event{Type: obs.EvTenantEvict, Tenant: p.id,
+					Detail: "scrub signature mismatch; evicted for cold restore"})
 			}
 		}
 		r.mu.Unlock()

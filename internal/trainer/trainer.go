@@ -9,6 +9,7 @@ import (
 
 	"boosthd/internal/boosthd"
 	"boosthd/internal/infer"
+	"boosthd/internal/obs"
 	"boosthd/internal/serve"
 )
 
@@ -356,6 +357,14 @@ func (t *Trainer) Retrain() (serve.RetrainReport, error) {
 	t.lastErrMu.Unlock()
 	report.Swapped = true
 	report.TookMS = time.Since(start).Seconds() * 1e3
+	// Base republish: every tenant view rebuilds over the fresh model on
+	// its next resolve. Journaled after the swap that published it.
+	if o := t.srv.Obs(); o != nil {
+		o.Journal.Append(obs.Event{Type: obs.EvRetrain,
+			Corr:    o.Journal.NewCorr(),
+			Version: t.srv.ModelVersion(),
+			Detail:  fmt.Sprintf("mode=%s backend=%s samples=%d", report.Mode, report.Backend, report.Samples)})
+	}
 	return report, nil
 }
 

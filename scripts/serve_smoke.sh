@@ -10,8 +10,11 @@
 # both without losing their deltas. Ends with a chaos drill: inject
 # word faults over /inject and assert the monitor repairs them at
 # dimension granularity — no learner's alpha ever reaches 0 (state
-# never "quarantined", healthy_fraction never 0). Finishes by
-# SIGTERM-ing the server, exercising the graceful drain.
+# never "quarantined", healthy_fraction never 0) — then replays the
+# whole incident from GET /events and asserts the journal recorded it
+# completely and in causal order. Finishes by SIGTERM-ing the server,
+# exercising the graceful drain, and checks the JSONL event mirror
+# survived on disk.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,7 +39,8 @@ go build -o "$workdir/boosthd-serve" ./cmd/boosthd-serve
 "$workdir/boosthd-serve" -addr 127.0.0.1:18080 -checkpoint "$workdir/model.bhde" \
   -backend binary -trainer -buffer 512 -checkpoint-dir "$workdir" \
   -tenants -tenant-dir "$workdir/tenants" \
-  -scrub-every 300ms -segment-words 1 -min-healthy 0.3 -chaos &
+  -scrub-every 300ms -segment-words 1 -min-healthy 0.3 -chaos \
+  -trace-sample 5 -events-file "$workdir/events.jsonl" &
 server_pid=$!
 
 up=""
@@ -169,6 +173,56 @@ while True:
 assert rel["detections"] >= 1, rel
 assert all(e["state"] == "healthy" for e in rel["ledger"]), rel
 print("smoke ok: chaos drill repaired %d flips (dimension-masked seen: %s)" % (flips, saw_masked))
+
+# Event journal replay: the incident above must appear in GET /events as
+# a complete, ordered, attributed sequence — inject, then the scrub
+# verdict naming learners, then its quarantine/dim-mask (same pass
+# correlation ID), then repair and unmask (a different pass ID).
+page = call("/events")
+events = page["events"]
+assert events, page
+seqs = [e["seq"] for e in events]
+assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs), "journal sequence not monotone"
+
+def idx_of(typ, after=-1, **want):
+    for i in range(after + 1, len(events)):
+        e = events[i]
+        if e["type"] == typ and all(e.get(k) == v for k, v in want.items()):
+            return i
+    raise AssertionError("no %r event after index %d in %r" % (typ, after, events))
+
+i_inject = idx_of("inject")
+i_scrub = idx_of("scrub", i_inject)
+scrub = events[i_scrub]
+assert scrub["learners"], scrub
+i_mask = i_scrub + 1
+while i_mask < len(events) and events[i_mask]["type"] not in ("quarantine", "dim_mask"):
+    i_mask += 1
+assert i_mask < len(events), "no mask event after the scrub verdict"
+mask = events[i_mask]
+assert mask["corr"] == scrub["corr"], (mask, scrub)
+i_repair = idx_of("repair", i_mask)
+repair = events[i_repair]
+assert repair["corr"] != scrub["corr"], "repair pass reused the scrub correlation ID"
+i_unmask = idx_of("unmask", i_repair)
+assert events[i_unmask]["corr"] == repair["corr"], (events[i_unmask], repair)
+# Retrain republishes also landed in the journal earlier in the run.
+idx_of("retrain")
+# Incremental polling resumes exactly past the cursor.
+tail = call("/events?since=%d" % events[i_repair - 1]["seq"])
+assert tail["events"] and tail["events"][0]["seq"] == repair["seq"], tail
+
+# The tracer samples every 5th micro-batched request: a burst of
+# single predicts must land at least two full stage traces.
+for i in range(12):
+    call("/predict", {"features": rows[i % len(rows)]})
+tr = call("/trace")
+assert tr["sample_every"] == 5 and tr["sampled"] >= 2 and tr["traces"], tr
+for t in tr["traces"]:
+    assert t["corr"] > 0 and t["total_ns"] > 0, t
+    assert set(t["stage_ns"]) == {"admission", "queue", "encode", "score", "aggregate"}, t
+print("events ok: %d journal events, drill replay in order; %d traces sampled"
+      % (len(events), len(tr["traces"])))
 print("smoke ok:", json.dumps(health))
 EOF
 
@@ -176,4 +230,19 @@ echo "== graceful shutdown"
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
+
+echo "== event journal persisted to disk"
+[ -s "$workdir/events.jsonl" ] || { echo "events.jsonl empty or missing"; exit 1; }
+python3 - "$workdir/events.jsonl" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [json.loads(l) for l in f if l.strip()]
+assert lines, "no journal lines on disk"
+seqs = [e["seq"] for e in lines]
+assert seqs == sorted(seqs), "persisted journal out of order"
+types = {e["type"] for e in lines}
+for needed in ("inject", "scrub", "repair", "unmask", "engine_swap", "retrain"):
+    assert needed in types, (needed, types)
+print("journal ok: %d events persisted (%d types)" % (len(lines), len(types)))
+EOF
 echo "serve smoke passed"
