@@ -291,7 +291,8 @@ type Delta = core.Delta
 // views and cold loads from a write-through DeltaStore.
 type TenantRegistry = serve.TenantRegistry
 
-// TenantRegistryConfig tunes the registry (delta store, LRU capacity).
+// TenantRegistryConfig tunes the registry (delta store, LRU capacity,
+// lock-stripe shard count).
 type TenantRegistryConfig = serve.TenantRegistryConfig
 
 // TenantStats is a point-in-time snapshot of a TenantRegistry.
@@ -300,8 +301,15 @@ type TenantStats = serve.TenantStats
 // DeltaStore is the per-tenant checkpoint store behind a registry.
 type DeltaStore = serve.DeltaStore
 
-// FileDeltaStore persists one delta record per tenant under a directory.
+// FileDeltaStore persists one delta record per tenant under a directory,
+// plus an append journal of changed-learner patches so steady-state
+// refit I/O is proportional to learners moved.
 type FileDeltaStore = serve.FileDeltaStore
+
+// NewFileDeltaStore opens a journaling delta store rooted at dir.
+func NewFileDeltaStore(dir string) *FileDeltaStore {
+	return serve.NewFileDeltaStore(dir)
+}
 
 // NewTenantRegistry builds a registry multiplexing srv's serving engine.
 func NewTenantRegistry(srv *Server, cfg TenantRegistryConfig) (*TenantRegistry, error) {

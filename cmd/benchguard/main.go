@@ -74,7 +74,7 @@ var suites = []suite{
 	},
 	{
 		pkg:       "./internal/serve",
-		bench:     "^BenchmarkTenantResolve$",
+		bench:     "^(BenchmarkTenantResolve|BenchmarkTenantResolveParallel)$",
 		benchtime: "200ms",
 		count:     5,
 		tolScale:  1,

@@ -82,7 +82,14 @@ func main() {
 			return show(b, nil)
 		}},
 		{"serve", func() error { t, err := experiments.RunServeBench(opt); return show(t, err) }},
-		{"tenants", func() error { t, err := experiments.RunTenants(opt); return show(t, err) }},
+		{"tenants", func() error {
+			t, err := experiments.RunTenants(opt)
+			if err := show(t, err); err != nil {
+				return err
+			}
+			c, err := experiments.RunTenantContention(opt)
+			return show(c, err)
+		}},
 		{"drift", func() error { t, err := experiments.RunDrift(opt); return show(t, err) }},
 		{"reliability", func() error { t, err := experiments.RunReliability(opt); return show(t, err) }},
 		{"ecc", func() error { t, err := experiments.RunECC(opt); return show(t, err) }},

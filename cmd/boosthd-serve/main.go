@@ -13,7 +13,7 @@
 //	              [-checkpoint-dir dir] [-body-limit bytes] [-max-rows N]
 //	              [-auth-token secret]
 //	              [-trainer] [-retrain-every 0] [-buffer 4096] [-retrain-mode full|alphas]
-//	              [-tenants] [-tenant-dir dir] [-tenant-cache 1024]
+//	              [-tenants] [-tenant-dir dir] [-tenant-cache 1024] [-tenant-shards 16]
 //	              [-scrub-every 0] [-canary 0] [-quarantine-threshold 0.15]
 //	              [-segment-words 8] [-min-healthy 0.5] [-chaos]
 //	              [-trace-sample 0] [-events-file path] [-debug-addr addr]
@@ -139,6 +139,7 @@ func main() {
 	useTenants := flag.Bool("tenants", false, "enable multi-tenant serving (X-Tenant header and /t/{tenant}/... routes over copy-on-write per-tenant deltas)")
 	tenantDir := flag.String("tenant-dir", "", "per-tenant delta checkpoint directory (empty = ephemeral temp dir)")
 	tenantCache := flag.Int("tenant-cache", 0, "resident tenant view cache size (0 = default 1024)")
+	tenantShards := flag.Int("tenant-shards", 0, "lock stripes for the tenant registry, rounded up to a power of two (0 = default 16)")
 	retrainEvery := flag.Duration("retrain-every", 0, "background retrain period (0 = manual /retrain only)")
 	bufferCap := flag.Int("buffer", 4096, "trainer sample buffer capacity")
 	retrainMode := flag.String("retrain-mode", "full", "retrain scope: full (refit learners+alphas) or alphas (reweight only)")
@@ -171,7 +172,7 @@ func main() {
 	// Tenant-only knobs without -tenants would configure a subsystem that
 	// never starts; refuse the misconfiguration outright.
 	if !*useTenants {
-		tenantOnly := map[string]bool{"tenant-dir": true, "tenant-cache": true}
+		tenantOnly := map[string]bool{"tenant-dir": true, "tenant-cache": true, "tenant-shards": true}
 		flag.Visit(func(f *flag.Flag) {
 			if tenantOnly[f.Name] {
 				fail(fmt.Errorf("-%s requires -tenants", f.Name))
@@ -301,8 +302,9 @@ func main() {
 			fail(err)
 		}
 		reg, err = serve.NewTenantRegistry(srv, serve.TenantRegistryConfig{
-			Store:     serve.FileDeltaStore{Dir: dir},
+			Store:     serve.NewFileDeltaStore(dir),
 			CacheSize: *tenantCache,
+			Shards:    *tenantShards,
 		})
 		if err != nil {
 			fail(err)
@@ -320,7 +322,8 @@ func main() {
 			reg.Start(*scrubEvery)
 		}
 		st := reg.Stats()
-		fmt.Printf("tenants: delta store %s, cache %d views, base %s\n", dir, st.Capacity, st.BaseHash)
+		fmt.Printf("tenants: delta store %s, cache %d views over %d shards, base %s\n",
+			dir, st.Capacity, st.Shards, st.BaseHash)
 	}
 
 	var mon *reliability.Monitor

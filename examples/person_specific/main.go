@@ -77,7 +77,7 @@ func main() {
 	}
 	defer os.RemoveAll(deltaDir)
 	reg, err := boosthd.NewTenantRegistry(s, boosthd.TenantRegistryConfig{
-		Store: boosthd.FileDeltaStore{Dir: deltaDir},
+		Store: boosthd.NewFileDeltaStore(deltaDir),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -162,6 +162,10 @@ var benchKernels = map[string][]struct{ dir, fn string }{
 	"internal/obs.BenchmarkHistogramObserve":    {{"internal/obs", "Observe"}},
 	"internal/obs.BenchmarkSpanStamp":           {{"internal/obs", "Stamp"}},
 	"internal/serve.BenchmarkTenantResolve":     {{"internal/serve", "Resolve"}},
+	"internal/serve.BenchmarkTenantResolveParallel": {
+		{"internal/serve", "Resolve"},
+		{"internal/serve", "shard"},
+	},
 }
 
 // TestHotpathCoversBaselineKernels checks that every benchmark in the

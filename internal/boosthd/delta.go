@@ -164,7 +164,9 @@ func (m *Model) Fingerprint() uint64 {
 // deltaWire is the gob payload of a tenant delta record. Unlike a full
 // ensemble checkpoint it carries no Config and no encoder parameters —
 // those belong to the base model the record's fingerprint pins — so a
-// fleet of tenants duplicates nothing but its actual overrides.
+// fleet of tenants duplicates nothing but its actual overrides. The same
+// struct carries full records (BHDT: every overridden learner) and
+// journal patch entries (BHDJ: only the learners a refit moved).
 type deltaWire struct {
 	Base    uint64 // fingerprint of the base model the delta was trained against
 	Tenant  string
@@ -173,21 +175,35 @@ type deltaWire struct {
 	Dims    []int          // overridden learners' segment widths, parallel to Indexes
 	Class   [][]hdc.Vector // overridden learners' class memory, parallel to Indexes
 	Alphas  []float64      // tenant alphas; nil inherits the base's
+	// Epoch fences journal patches to the full record they extend: a
+	// compaction rewrite stamps a fresh epoch, so patches appended before
+	// the rewrite (and orphaned by a crash between the record rename and
+	// the journal truncate) are skipped at replay instead of overwriting
+	// newer memory with older. Old records decode it as zero — gob drops
+	// unknown fields in both directions, so the field is wire-compatible.
+	Epoch uint64
 }
 
-// SaveDelta writes a tenant delta record to w, framed under the BHDT
-// magic. Each overridden learner's class memory is deep-copied under its
-// read lock, so a save that overlaps a concurrent refit records a
+// encodeDeltaWire snapshots the learners named by indexes (a subset of
+// d's overrides for a journal patch, all of them for a full record) into
+// a wire payload. Each class memory is deep-copied under its learner's
+// read lock, so a save overlapping a concurrent refit records a
 // consistent snapshot; the gob encode runs after every lock is released.
-func SaveDelta(w io.Writer, tenant string, d *Delta, baseFP uint64) error {
-	if d == nil {
-		return fmt.Errorf("boosthd: save delta: nil delta")
-	}
-	dw := deltaWire{Base: baseFP, Tenant: tenant, Indexes: d.Indexes()}
+func encodeDeltaWire(tenant string, d *Delta, indexes []int, baseFP, epoch uint64) (*deltaWire, error) {
+	dw := &deltaWire{Base: baseFP, Tenant: tenant, Epoch: epoch,
+		Indexes: append([]int(nil), indexes...)}
 	dw.Dims = make([]int, len(dw.Indexes))
 	dw.Class = make([][]hdc.Vector, len(dw.Indexes))
+	prev := -1
 	for k, i := range dw.Indexes {
-		l := d.Learners[i]
+		if i <= prev {
+			return nil, fmt.Errorf("boosthd: save delta: indexes not ascending at %d", i)
+		}
+		prev = i
+		l, ok := d.Learners[i]
+		if !ok {
+			return nil, fmt.Errorf("boosthd: save delta: index %d not overridden", i)
+		}
 		dw.Dims[k] = l.Dim
 		dw.Classes = l.Classes
 		l.ReadClass(func(class []hdc.Vector, _ uint64) {
@@ -201,11 +217,57 @@ func SaveDelta(w io.Writer, tenant string, d *Delta, baseFP uint64) error {
 	if d.Alphas != nil {
 		dw.Alphas = append([]float64(nil), d.Alphas...)
 	}
+	return dw, nil
+}
+
+// SaveDelta writes a full tenant delta record to w, framed under the
+// BHDT magic at epoch zero (callers that never journal do not need the
+// fence).
+func SaveDelta(w io.Writer, tenant string, d *Delta, baseFP uint64) error {
+	return SaveDeltaStamped(w, tenant, d, baseFP, 0)
+}
+
+// SaveDeltaStamped is SaveDelta carrying an explicit epoch — the value
+// journal patches extending this record must echo to be replayed.
+func SaveDeltaStamped(w io.Writer, tenant string, d *Delta, baseFP, epoch uint64) error {
+	if d == nil {
+		return fmt.Errorf("boosthd: save delta: nil delta")
+	}
+	dw, err := encodeDeltaWire(tenant, d, d.Indexes(), baseFP, epoch)
+	if err != nil {
+		return err
+	}
 	if err := wire.WriteHeaderVersion(w, wire.MagicTenant, wire.Version1); err != nil {
 		return fmt.Errorf("boosthd: save delta: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(&dw); err != nil {
+	if err := gob.NewEncoder(w).Encode(dw); err != nil {
 		return fmt.Errorf("boosthd: save delta: %w", err)
+	}
+	return nil
+}
+
+// SaveDeltaPatch writes a journal patch entry to w, framed under the
+// BHDJ magic: only the learners named by indexes (the ones a refit
+// actually moved) plus the tenant alphas, fenced to the base fingerprint
+// and the epoch of the full record the patch extends. Steady-state refit
+// I/O is therefore proportional to learners moved, not to the tenant's
+// total override set.
+func SaveDeltaPatch(w io.Writer, tenant string, d *Delta, indexes []int, baseFP, epoch uint64) error {
+	if d == nil {
+		return fmt.Errorf("boosthd: save delta patch: nil delta")
+	}
+	if len(indexes) == 0 && d.Alphas == nil {
+		return fmt.Errorf("boosthd: save delta patch: empty patch")
+	}
+	dw, err := encodeDeltaWire(tenant, d, indexes, baseFP, epoch)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteHeaderVersion(w, wire.MagicTenantJournal, wire.Version1); err != nil {
+		return fmt.Errorf("boosthd: save delta patch: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(dw); err != nil {
+		return fmt.Errorf("boosthd: save delta patch: %w", err)
 	}
 	return nil
 }
@@ -216,62 +278,130 @@ func SaveDelta(w io.Writer, tenant string, d *Delta, baseFP uint64) error {
 // (loudly, with counters) instead of failing the tenant's requests.
 var ErrBaseMismatch = errors.New("boosthd: delta trained against a different base model")
 
-// LoadDelta reconstructs a tenant delta record against base. baseFP is
-// the caller's cached base.Fingerprint(); a record carrying any other
-// fingerprint is rejected loudly — serving a delta trained against a
-// different base would silently blend incompatible memories, the one
-// failure mode a healthcare deployment must never absorb quietly.
-func LoadDelta(r io.Reader, base *Model, baseFP uint64) (string, *Delta, error) {
-	v, body, err := wire.ReadHeader(r, wire.MagicTenant)
-	if err != nil {
-		return "", nil, fmt.Errorf("boosthd: load delta: %w", err)
-	}
-	if v == 0 {
-		return "", nil, fmt.Errorf("boosthd: load delta: not a tenant delta record")
-	}
-	var dw deltaWire
-	if err := gob.NewDecoder(body).Decode(&dw); err != nil {
-		return "", nil, fmt.Errorf("boosthd: load delta: %w", err)
-	}
+// decodeDeltaWire validates a decoded wire payload against base and
+// rebuilds the Delta it names. Validation is identical for full records
+// and journal patches: the fingerprint must match, indexes must be
+// strictly ascending base learner indexes, and every override must match
+// its base learner's geometry.
+func decodeDeltaWire(dw *deltaWire, base *Model, baseFP uint64) (*Delta, error) {
 	if dw.Base != baseFP {
-		return "", nil, fmt.Errorf("boosthd: load delta: record for base %016x, serving base is %016x: %w",
+		return nil, fmt.Errorf("boosthd: load delta: record for base %016x, serving base is %016x: %w",
 			dw.Base, baseFP, ErrBaseMismatch)
 	}
 	if len(dw.Dims) != len(dw.Indexes) || len(dw.Class) != len(dw.Indexes) {
-		return "", nil, fmt.Errorf("boosthd: load delta: %d indexes, %d dims, %d class blocks",
+		return nil, fmt.Errorf("boosthd: load delta: %d indexes, %d dims, %d class blocks",
 			len(dw.Indexes), len(dw.Dims), len(dw.Class))
 	}
 	if dw.Alphas != nil && len(dw.Alphas) != len(base.Learners) {
-		return "", nil, fmt.Errorf("boosthd: load delta: %d alphas for %d learners", len(dw.Alphas), len(base.Learners))
+		return nil, fmt.Errorf("boosthd: load delta: %d alphas for %d learners", len(dw.Alphas), len(base.Learners))
 	}
 	d := &Delta{Learners: make(map[int]*onlinehd.HVClassifier, len(dw.Indexes))}
 	prev := -1
 	for k, i := range dw.Indexes {
 		if i <= prev || i >= len(base.Learners) {
-			return "", nil, fmt.Errorf("boosthd: load delta: learner index %d invalid (prev %d, %d learners)",
+			return nil, fmt.Errorf("boosthd: load delta: learner index %d invalid (prev %d, %d learners)",
 				i, prev, len(base.Learners))
 		}
 		prev = i
 		bl := base.Learners[i]
 		if dw.Dims[k] != bl.Dim || dw.Classes != bl.Classes {
-			return "", nil, fmt.Errorf("boosthd: load delta: learner %d is %dx%d, base is %dx%d",
+			return nil, fmt.Errorf("boosthd: load delta: learner %d is %dx%d, base is %dx%d",
 				i, dw.Dims[k], dw.Classes, bl.Dim, bl.Classes)
 		}
 		if len(dw.Class[k]) != bl.Classes {
-			return "", nil, fmt.Errorf("boosthd: load delta: learner %d carries %d class vectors, want %d",
+			return nil, fmt.Errorf("boosthd: load delta: learner %d carries %d class vectors, want %d",
 				i, len(dw.Class[k]), bl.Classes)
 		}
 		hv, err := onlinehd.NewHVClassifier(bl.Dim, bl.Classes, base.Cfg.LR)
 		if err != nil {
-			return "", nil, fmt.Errorf("boosthd: load delta: learner %d: %w", i, err)
+			return nil, fmt.Errorf("boosthd: load delta: learner %d: %w", i, err)
 		}
 		if err := hv.SetClass(dw.Class[k]); err != nil {
-			return "", nil, fmt.Errorf("boosthd: load delta: learner %d: %w", i, err)
+			return nil, fmt.Errorf("boosthd: load delta: learner %d: %w", i, err)
 		}
 		d.Learners[i] = hv
 	}
 	if dw.Alphas != nil {
 		d.Alphas = append([]float64(nil), dw.Alphas...)
 	}
-	return dw.Tenant, d, nil
+	return d, nil
+}
+
+// LoadDelta reconstructs a tenant delta record against base. baseFP is
+// the caller's cached base.Fingerprint(); a record carrying any other
+// fingerprint is rejected loudly — serving a delta trained against a
+// different base would silently blend incompatible memories, the one
+// failure mode a healthcare deployment must never absorb quietly.
+func LoadDelta(r io.Reader, base *Model, baseFP uint64) (string, *Delta, error) {
+	tenant, d, _, err := LoadDeltaStamped(r, base, baseFP)
+	return tenant, d, err
+}
+
+// LoadDeltaStamped is LoadDelta returning the record's epoch as well —
+// the fence value journal patches extending the record must carry.
+// Records written before epochs existed decode as epoch zero.
+func LoadDeltaStamped(r io.Reader, base *Model, baseFP uint64) (string, *Delta, uint64, error) {
+	v, body, err := wire.ReadHeader(r, wire.MagicTenant)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("boosthd: load delta: %w", err)
+	}
+	if v == 0 {
+		return "", nil, 0, fmt.Errorf("boosthd: load delta: not a tenant delta record")
+	}
+	var dw deltaWire
+	if err := gob.NewDecoder(body).Decode(&dw); err != nil {
+		return "", nil, 0, fmt.Errorf("boosthd: load delta: %w", err)
+	}
+	d, err := decodeDeltaWire(&dw, base, baseFP)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return dw.Tenant, d, dw.Epoch, nil
+}
+
+// LoadDeltaPatch reads one journal patch entry. A patch whose epoch does
+// not match wantEpoch is a stale leftover from before a compaction
+// rewrite (a crash can orphan them between the record rename and the
+// journal truncate): it is skipped without validation — matched reports
+// false and every other return is zero. Patches from the current epoch
+// are validated as strictly as full records; their failures are loud.
+func LoadDeltaPatch(r io.Reader, base *Model, baseFP, wantEpoch uint64) (tenant string, d *Delta, matched bool, err error) {
+	v, body, err := wire.ReadHeader(r, wire.MagicTenantJournal)
+	if err != nil {
+		return "", nil, false, fmt.Errorf("boosthd: load delta patch: %w", err)
+	}
+	if v == 0 {
+		return "", nil, false, fmt.Errorf("boosthd: load delta patch: not a tenant delta journal entry")
+	}
+	var dw deltaWire
+	if err := gob.NewDecoder(body).Decode(&dw); err != nil {
+		return "", nil, false, fmt.Errorf("boosthd: load delta patch: %w", err)
+	}
+	if dw.Epoch != wantEpoch {
+		return "", nil, false, nil
+	}
+	d, err = decodeDeltaWire(&dw, base, baseFP)
+	if err != nil {
+		return "", nil, false, err
+	}
+	return dw.Tenant, d, true, nil
+}
+
+// Merge applies a journal patch onto d in place: patched learners
+// replace d's overrides for the same index, and a non-nil patch alpha
+// slice replaces d's. Used only while materializing a load — installed
+// deltas stay immutable.
+func (d *Delta) Merge(patch *Delta) {
+	if patch == nil {
+		return
+	}
+	if d.Learners == nil {
+		d.Learners = make(map[int]*onlinehd.HVClassifier, len(patch.Learners))
+	}
+	for i, l := range patch.Learners {
+		d.Learners[i] = l
+	}
+	if patch.Alphas != nil {
+		d.Alphas = patch.Alphas
+	}
 }

@@ -26,6 +26,7 @@ const (
 	EvTenantEvict    = "tenant_evict"     // LRU pushed a resident tenant view out
 	EvTenantColdLoad = "tenant_cold_load" // tenant delta loaded from the store
 	EvTenantRebuild  = "tenant_rebuild"   // resident view rebuilt onto a new base
+	EvTenantCompact  = "tenant_compact"   // delta journal folded into a full record
 )
 
 // Event is one journal entry. Seq is a process-monotonic sequence

@@ -90,40 +90,74 @@ func BenchmarkServeBatched(b *testing.B) {
 	}
 }
 
-// BenchmarkTenantResolve pins the tenant hot path: a resident cache hit
-// is one map lookup and one LRU splice under the registry lock, with no
-// allocation — the per-request overhead every tenant-routed predict pays
-// on top of the engine call.
-func BenchmarkTenantResolve(b *testing.B) {
+// benchRegistry builds a registry with the given shard count and a
+// population of resident tenants, shared by the resolve benchmarks.
+func benchRegistry(b *testing.B, shards, tenants int) (*TenantRegistry, []string, func()) {
+	b.Helper()
 	benchSetup(b)
 	eng := benchEng["binary"]
 	s, err := NewServer(eng, Config{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer s.Close()
 	reg, err := NewTenantRegistry(s, TenantRegistryConfig{
-		Store:     FileDeltaStore{Dir: b.TempDir()},
+		Store:     NewFileDeltaStore(b.TempDir()),
 		CacheSize: 1024,
+		Shards:    shards,
 	})
 	if err != nil {
+		s.Close()
 		b.Fatal(err)
 	}
 	m := eng.Model()
-	const tenants = 256
 	ids := make([]string, tenants)
 	for i := range ids {
 		ids[i] = fmt.Sprintf("bench-%03d", i)
 		if err := reg.Install(ids[i], testDelta(b, m, []int{i % len(m.Learners)}, int64(i))); err != nil {
+			s.Close()
 			b.Fatal(err)
 		}
 	}
+	return reg, ids, func() { s.Close() }
+}
+
+// BenchmarkTenantResolve pins the single-caller tenant hot path: a
+// resident cache hit is one FNV shard pick, one map lookup, and one LRU
+// splice under the shard lock, with no allocation — the per-request
+// overhead every tenant-routed predict pays on top of the engine call.
+func BenchmarkTenantResolve(b *testing.B) {
+	reg, ids, done := benchRegistry(b, 0, 256)
+	defer done()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Resolve(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTenantResolveParallel drives resolves from many goroutines
+// with a skewed tenant mix (a handful of hot tenants plus a long tail),
+// the contention profile the lock-striped shards exist for.
+func BenchmarkTenantResolveParallel(b *testing.B) {
+	reg, ids, done := benchRegistry(b, 0, 256)
+	defer done()
+	b.SetParallelism(16)
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			if _, err := reg.Resolve(ids[i%tenants]); err != nil {
+			// Zipf-ish skew without an RNG in the loop: half the
+			// resolves hit one of 8 hot tenants, the rest walk the tail.
+			var id string
+			if i&1 == 0 {
+				id = ids[i%8]
+			} else {
+				id = ids[i%len(ids)]
+			}
+			if _, err := reg.Resolve(id); err != nil {
 				b.Error(err)
 				return
 			}

@@ -164,8 +164,10 @@ type HandlerConfig struct {
 	// carrying a tenant — the X-Tenant header, or the /t/{tenant}/...
 	// path form — resolve through the registry to the tenant's engine
 	// view, and GET /tenants exposes the registry stats. Tenant
-	// predictions go straight to the tenant engine's batch pipeline,
-	// bypassing the cross-tenant micro-batcher.
+	// predictions ride the micro-batcher pinned to their resolved view,
+	// so same-tenant (and base-passthrough) traffic coalesces into fused
+	// engine batch calls; tenant /predict_batch goes straight to the
+	// tenant engine — the caller already batched.
 	Tenants *TenantRegistry
 	// TenantTrainer routes tenant-scoped /observe and /retrain to
 	// per-tenant isolation when non-nil. Requires Tenants.
@@ -346,27 +348,20 @@ func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
 	if !h.decodeJSON(w, r, &req) {
 		return
 	}
+	// Tenant requests resolve to their pinned engine view and ride the
+	// same micro-batcher as base traffic: requests pinned to the same
+	// view fuse into one engine batch call per flush (tenant-aware
+	// coalescing), instead of degrading to per-request engine calls.
+	var eng *infer.Engine
 	if tenant := tenantOf(r); tenant != "" {
-		eng := h.tenantEngine(w, tenant)
-		if eng == nil {
+		if eng = h.tenantEngine(w, tenant); eng == nil {
 			return
 		}
-		if want := eng.InputDim(); len(req.Features) != want {
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("%w: feature length %d, model expects %d", ErrBadInput, len(req.Features), want))
-			return
-		}
-		label, err := eng.Predict(req.Features)
-		if err != nil {
-			httpError(w, predictStatus(err), err)
-			return
-		}
-		writeJSON(w, map[string]int{"label": label})
-		return
 	}
-	// Trace sampling covers the micro-batcher path: every request
-	// mints a correlation ID, and every Nth carries a full span
-	// through admission → queue → engine stages → delivery.
+	// Trace sampling covers the micro-batcher path — tenant predicts
+	// included: every request mints a correlation ID, and every Nth
+	// carries a full span through admission → queue → engine stages →
+	// delivery.
 	var sp *obs.Span
 	if o != nil {
 		corr, sampled := o.Tracer.Admit()
@@ -375,7 +370,7 @@ func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
 			sp.Stamp(obs.StageAdmission, time.Since(t0).Nanoseconds())
 		}
 	}
-	label, err := h.s.PredictSpan(req.Features, sp)
+	label, err := h.s.PredictOnSpan(eng, req.Features, sp)
 	if sp != nil {
 		sp.TotalNS = time.Since(t0).Nanoseconds()
 		if err != nil {
@@ -457,6 +452,9 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 			"queue_depth":     st.QueueDepth,
 			"straggler_fires": st.StragglerFires,
 			"lone_fast_path":  st.LoneFastPath,
+			"flushes":         st.Flushes,
+			"tenant_rows":     st.TenantRows,
+			"coalesced_rows":  st.CoalescedRows,
 		},
 		// Model identity: backend + projection + serving-engine
 		// generation, so an operator can confirm a swap / quarantine /
@@ -477,9 +475,11 @@ func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
 		resp["tenants"] = map[string]any{
 			"residents":      tst.Residents,
 			"resident_bytes": tst.ResidentBytes,
+			"shards":         tst.Shards,
 			"hits":           tst.Hits,
 			"misses":         tst.Misses,
 			"cold_loads":     tst.ColdLoads,
+			"compactions":    tst.Compactions,
 			"base_hash":      tst.BaseHash,
 		}
 	}

@@ -36,6 +36,9 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	gauge("boosthd_queue_depth", "Requests currently queued in the micro-batcher.", float64(st.QueueDepth))
 	counter("boosthd_straggler_fires_total", "Batches flushed by the MaxWait straggler timer before filling.", float64(st.StragglerFires))
 	counter("boosthd_lone_fastpath_total", "Batches that skipped the straggler wait on the lone-caller fast path.", float64(st.LoneFastPath))
+	counter("boosthd_flushes_total", "Micro-batcher collect cycles flushed (each issues one batch call per distinct engine view).", float64(st.Flushes))
+	counter("boosthd_tenant_rows_total", "Rows served through the batcher pinned to a resolved tenant view.", float64(st.TenantRows))
+	counter("boosthd_coalesced_rows_total", "Served rows that shared their engine batch call with at least one other row.", float64(st.CoalescedRows))
 	gauge("boosthd_model_version", "Generation of the installed serving engine.", float64(st.ModelVersion))
 	gauge("boosthd_encoder_state_bytes", "Resident memory of the serving encoder stack (O(1) for the rematerialized projection).", float64(st.EncoderStateBytes))
 	fmt.Fprintf(&b, "# HELP boosthd_model_info Serving model identity; constant 1, labeled by backend and encoder projection mode.\n")
@@ -90,6 +93,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		gauge("boosthd_tenant_residents", "Cached tenants holding a copy-on-write delta.", float64(tst.Residents))
 		gauge("boosthd_tenant_cached", "All cached tenant entries (including base passthroughs).", float64(tst.Cached))
 		gauge("boosthd_tenant_cache_capacity", "LRU bound on cached tenant entries.", float64(tst.Capacity))
+		gauge("boosthd_tenant_shards", "Lock stripes the tenant cache is split into.", float64(tst.Shards))
 		gauge("boosthd_tenant_resident_bytes", "Delta float memory resident across cached tenants.", float64(tst.ResidentBytes))
 		counter("boosthd_tenant_hits_total", "Tenant resolutions served from the cache.", float64(tst.Hits))
 		counter("boosthd_tenant_misses_total", "Tenant resolutions that missed the cache.", float64(tst.Misses))
@@ -99,6 +103,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		counter("boosthd_tenant_rebuilds_total", "Resident tenant views rebuilt after a base swap.", float64(tst.Rebuilds))
 		counter("boosthd_tenant_corruptions_total", "Resident tenant deltas failing their scrub signature.", float64(tst.Corruptions))
 		counter("boosthd_tenant_scrubs_total", "Tenant delta scrub passes completed.", float64(tst.Scrubs))
+		counter("boosthd_tenant_compactions_total", "Tenant delta journals folded back into full records.", float64(tst.Compactions))
 	}
 
 	if h.cfg.Reliability != nil {

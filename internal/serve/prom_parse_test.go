@@ -204,7 +204,7 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 	}
 	t.Cleanup(s.Close)
 	s.SetObs(obs.NewServing(2, 0, 0))
-	reg, err := NewTenantRegistry(s, TenantRegistryConfig{Store: FileDeltaStore{Dir: t.TempDir()}})
+	reg, err := NewTenantRegistry(s, TenantRegistryConfig{Store: NewFileDeltaStore(t.TempDir())})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -64,12 +64,15 @@ func (c Config) withDefaults() Config {
 }
 
 // request is one queued prediction; done receives exactly one result.
-// enq is stamped at enqueue when observability is wired (zero
-// otherwise) and span carries the caller's trace record for sampled
-// requests — the worker fills its queue/batch stages before delivering
-// the result, so the caller reads a complete span after done.
+// eng pins the request to a resolved engine view (a tenant's composed
+// engine); nil rides whatever engine is serving at flush time. enq is
+// stamped at enqueue when observability is wired (zero otherwise) and
+// span carries the caller's trace record for sampled requests — the
+// worker fills its queue/batch stages before delivering the result, so
+// the caller reads a complete span after done.
 type request struct {
 	x    []float64
+	eng  *infer.Engine
 	done chan result
 	enq  time.Time
 	span *obs.Span
@@ -108,6 +111,19 @@ type Stats struct {
 	// LoneFastPath counts batches that skipped the straggler wait
 	// entirely on the lone-caller fast path.
 	LoneFastPath uint64
+	// Flushes counts collect cycles: one flush issues one engine batch
+	// call per distinct engine view among its queued requests, so
+	// Batches/Flushes measures how much tenant diversity fragments the
+	// coalescing (1.0 = every flush fused into a single call).
+	Flushes uint64
+	// TenantRows counts predictions that rode the batcher pinned to a
+	// resolved tenant view (PredictOn with a non-nil engine).
+	TenantRows uint64
+	// CoalescedRows counts served rows that shared their engine batch
+	// call with at least one other row — the traffic that actually
+	// benefited from coalescing. CoalescedRows/Served is the
+	// batch-coalescing hit rate.
+	CoalescedRows uint64
 }
 
 // Server fronts a hot-swappable engine with the micro-batcher. All
@@ -127,6 +143,9 @@ type Server struct {
 
 	stragglers atomic.Uint64 // MaxWait timer fires
 	loneHits   atomic.Uint64 // lone-caller fast-path batches
+	flushes    atomic.Uint64 // collect cycles flushed
+	tenantRows atomic.Uint64 // rows served pinned to a tenant view
+	coalesced  atomic.Uint64 // rows served in a group of >= 2
 
 	// obs is the optional observability bundle; nil (never wired)
 	// costs one atomic load and a branch per batch.
@@ -242,10 +261,30 @@ func (s *Server) Predict(x []float64) (int, error) {
 // afterwards. Unsampled requests pass nil and pay nothing beyond the
 // shared batch instrumentation.
 func (s *Server) PredictSpan(x []float64, sp *obs.Span) (int, error) {
-	if want := s.engine.Load().InputDim(); len(x) != want {
+	return s.PredictOnSpan(nil, x, sp)
+}
+
+// PredictOn classifies one feature vector on a pinned engine view —
+// a tenant's composed engine from TenantRegistry.Resolve — through the
+// micro-batcher: requests pinned to the same view coalesce into one
+// fused engine batch call per flush, so same-tenant traffic (and tenant
+// base-passthrough traffic, which pins the shared base engine) rides
+// the batch kernels instead of degrading to per-request calls. A nil
+// eng rides the current serving engine, same as Predict.
+func (s *Server) PredictOn(eng *infer.Engine, x []float64) (int, error) {
+	return s.PredictOnSpan(eng, x, nil)
+}
+
+// PredictOnSpan is PredictOn carrying a trace span (see PredictSpan).
+func (s *Server) PredictOnSpan(eng *infer.Engine, x []float64, sp *obs.Span) (int, error) {
+	dimEng := eng
+	if dimEng == nil {
+		dimEng = s.engine.Load()
+	}
+	if want := dimEng.InputDim(); len(x) != want {
 		return 0, fmt.Errorf("%w: feature length %d, model expects %d", ErrBadInput, len(x), want)
 	}
-	req := &request{x: x, done: make(chan result, 1), span: sp}
+	req := &request{x: x, eng: eng, done: make(chan result, 1), span: sp}
 	o := s.obs.Load()
 	if o != nil {
 		req.enq = time.Now()
@@ -323,6 +362,9 @@ func (s *Server) Stats() Stats {
 		Projection:        m.Cfg.Projection.String(),
 		StragglerFires:    s.stragglers.Load(),
 		LoneFastPath:      s.loneHits.Load(),
+		Flushes:           s.flushes.Load(),
+		TenantRows:        s.tenantRows.Load(),
+		CoalescedRows:     s.coalesced.Load(),
 	}
 }
 
@@ -462,46 +504,112 @@ func (s *Server) executeObserved(o *obs.Serving, eng *infer.Engine, pending []*r
 	return preds, err
 }
 
-// worker runs the batch loop: collect, execute on the engine loaded at
-// execution time, deliver. The request and row slices are reused across
-// batches, so the batcher itself allocates only the per-request result
-// channels its callers created.
+// engGroup is one engine's slice of a flush: the requests pinned to (or
+// defaulting to) the same engine view, fused into one batch call.
+type engGroup struct {
+	eng  *infer.Engine
+	reqs []*request
+}
+
+// groupByEngine splits a flush's pending requests by engine view,
+// reusing groups' backing storage across flushes. Unpinned requests
+// resolve to def (the serving engine loaded once per flush), so base
+// traffic and tenant base-passthrough traffic land in the same group.
+// The scan over existing groups is linear: a flush rarely spans more
+// than a handful of distinct tenant views, and MaxBatch bounds it.
+func groupByEngine(groups []engGroup, pending []*request, def *infer.Engine, maxBatch int) []engGroup {
+	groups = groups[:0]
+	for _, r := range pending {
+		eng := r.eng
+		if eng == nil {
+			eng = def
+		}
+		gi := -1
+		for i := range groups {
+			if groups[i].eng == eng {
+				gi = i
+				break
+			}
+		}
+		if gi < 0 {
+			if len(groups) < cap(groups) {
+				groups = groups[:len(groups)+1]
+				gi = len(groups) - 1
+				groups[gi].eng = eng
+				groups[gi].reqs = groups[gi].reqs[:0]
+			} else {
+				groups = append(groups, engGroup{eng: eng, reqs: make([]*request, 0, maxBatch)})
+				gi = len(groups) - 1
+			}
+		}
+		groups[gi].reqs = append(groups[gi].reqs, r)
+	}
+	return groups
+}
+
+// worker runs the batch loop: collect, group the flush by engine view,
+// execute one fused batch call per group, deliver. Engines are resolved
+// at execution time (a swap between enqueue and flush serves unpinned
+// requests on the new engine; pinned tenant views stay pinned — the
+// registry re-resolves them on the next request). Request, row, and
+// group slices are reused across flushes, so the batcher itself
+// allocates only the per-request result channels its callers created.
+// A failing group fails alone: its requests get the error, every other
+// group in the flush still serves.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	pending := make([]*request, 0, s.cfg.MaxBatch)
 	rows := make([][]float64, 0, s.cfg.MaxBatch)
+	groups := make([]engGroup, 0, 4)
 	prev := 0
 	for {
 		var open bool
 		pending, open = s.collect(pending[:0], prev)
 		prev = len(pending)
 		if len(pending) > 0 {
-			rows = rows[:0]
-			for _, r := range pending {
-				rows = append(rows, r.x)
-			}
-			eng := s.engine.Load()
+			s.flushes.Add(1)
+			def := s.engine.Load()
+			groups = groupByEngine(groups, pending, def, s.cfg.MaxBatch)
 			o := s.obs.Load()
-			var preds []int
-			var err error
-			if o == nil {
-				preds, err = eng.PredictBatch(rows)
-			} else {
-				preds, err = s.executeObserved(o, eng, pending, rows)
-			}
-			if err == nil && len(preds) != len(pending) {
-				err = fmt.Errorf("serve: engine returned %d predictions for %d rows", len(preds), len(pending))
-			}
-			s.batches.Add(1)
-			if err == nil {
-				s.served.Add(uint64(len(pending)))
-			}
-			for i, r := range pending {
-				if err != nil {
-					r.done <- result{err: err}
-				} else {
-					r.done <- result{label: preds[i]}
+			pinned := 0
+			for _, r := range pending {
+				if r.eng != nil {
+					pinned++
 				}
+			}
+			for gi := range groups {
+				g := &groups[gi]
+				rows = rows[:0]
+				for _, r := range g.reqs {
+					rows = append(rows, r.x)
+				}
+				var preds []int
+				var err error
+				if o == nil {
+					preds, err = g.eng.PredictBatch(rows)
+				} else {
+					preds, err = s.executeObserved(o, g.eng, g.reqs, rows)
+				}
+				if err == nil && len(preds) != len(g.reqs) {
+					err = fmt.Errorf("serve: engine returned %d predictions for %d rows", len(preds), len(g.reqs))
+				}
+				s.batches.Add(1)
+				if err == nil {
+					s.served.Add(uint64(len(g.reqs)))
+					if len(g.reqs) > 1 {
+						s.coalesced.Add(uint64(len(g.reqs)))
+					}
+				}
+				for i, r := range g.reqs {
+					if err != nil {
+						r.done <- result{err: err}
+					} else {
+						r.done <- result{label: preds[i]}
+					}
+				}
+			}
+			if pinned > 0 {
+				s.tenantRows.Add(uint64(pinned))
 			}
 		}
 		if !open {

@@ -60,7 +60,7 @@ func newTenantFixture(t testing.TB) (*Server, *TenantRegistry, *boosthd.Model, [
 	}
 	t.Cleanup(s.Close)
 	reg, err := NewTenantRegistry(s, TenantRegistryConfig{
-		Store:     FileDeltaStore{Dir: t.TempDir()},
+		Store:     NewFileDeltaStore(t.TempDir()),
 		CacheSize: 64,
 	})
 	if err != nil {
@@ -316,8 +316,12 @@ func TestTenantRegistryLRU(t *testing.T) {
 	}
 	defer s.Close()
 	reg, err := NewTenantRegistry(s, TenantRegistryConfig{
-		Store:     FileDeltaStore{Dir: t.TempDir()},
+		Store:     NewFileDeltaStore(t.TempDir()),
 		CacheSize: 4,
+		// One stripe so the CacheSize bound is exact: with S shards every
+		// stripe keeps at least one slot, so effective capacity is
+		// max(CacheSize, Shards).
+		Shards: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -420,7 +424,7 @@ func TestTenantRegistrySoak(t *testing.T) {
 	}
 	defer s.Close()
 	reg, err := NewTenantRegistry(s, TenantRegistryConfig{
-		Store:     FileDeltaStore{Dir: t.TempDir()},
+		Store:     NewFileDeltaStore(t.TempDir()),
 		CacheSize: 8, // far below the tenant count: constant eviction + cold-load churn
 	})
 	if err != nil {
@@ -505,6 +509,89 @@ loop:
 	}
 	if st.Hits == 0 || st.ColdLoads == 0 || st.Rebuilds == 0 {
 		t.Fatalf("soak did not exercise all paths: %+v", st)
+	}
+}
+
+// TestTenantPredictCoalesces pins the tenant-aware micro-batcher:
+// concurrent predicts pinned to two tenant views plus base traffic must
+// still coalesce (fewer engine batch calls than rows served), rows
+// sharing a flush with a peer are counted, and every row lands on the
+// engine view it was pinned to — predictions bit-identical to direct
+// engine calls.
+func TestTenantPredictCoalesces(t *testing.T) {
+	m, X, _ := fixture(t, 320, 4)
+	s, err := NewServer(infer.NewEngine(m), Config{MaxBatch: 32, MaxWait: 20 * time.Millisecond, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reg, err := NewTenantRegistry(s, TenantRegistryConfig{
+		Store:     NewFileDeltaStore(t.TempDir()),
+		CacheSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []string{"ward-a", "ward-b"} {
+		if err := reg.Install(id, testDelta(t, m, []int{i, i + 1}, int64(41+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engines := make([]*infer.Engine, 3)
+	engines[0] = nil // base traffic rides the serving engine
+	for i, id := range []string{"ward-a", "ward-b"} {
+		if engines[i+1], err = reg.Resolve(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Direct references per view: nil means the serving engine.
+	want := make([]int, 24)
+	for i := range want {
+		eng := engines[i%3]
+		if eng == nil {
+			eng = s.Engine()
+		}
+		if want[i], err = eng.Predict(X[i%len(X)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := make([]int, len(want))
+	var wg sync.WaitGroup
+	for i := range want {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := s.PredictOn(engines[i%3], X[i%len(X)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d (view %d): batched %d != direct %d — tenant row landed on the wrong engine", i, i%3, got[i], want[i])
+		}
+	}
+
+	st := s.Stats()
+	if st.Served != uint64(len(want)) {
+		t.Fatalf("served %d rows, want %d", st.Served, len(want))
+	}
+	if st.Batches >= st.Served {
+		t.Fatalf("%d engine batch calls for %d rows: tenant pinning defeated coalescing", st.Batches, st.Served)
+	}
+	if st.CoalescedRows == 0 {
+		t.Fatal("no row shared its engine batch call with a peer")
+	}
+	if st.TenantRows == 0 {
+		t.Fatal("no row was counted as tenant-pinned")
+	}
+	if st.Flushes == 0 || st.Flushes > st.Batches {
+		t.Fatalf("flushes %d vs batches %d: a flush issues at least one batch call", st.Flushes, st.Batches)
 	}
 }
 

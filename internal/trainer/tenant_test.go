@@ -19,7 +19,7 @@ func tenantFixture(t testing.TB, cfg TenantConfig) (*serve.Server, *serve.Tenant
 	}
 	t.Cleanup(s.Close)
 	reg, err := serve.NewTenantRegistry(s, serve.TenantRegistryConfig{
-		Store: serve.FileDeltaStore{Dir: t.TempDir()},
+		Store: serve.NewFileDeltaStore(t.TempDir()),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -32,6 +32,12 @@ const (
 	// to the base model's fingerprint so a delta can never be replayed
 	// onto a base it was not trained against.
 	MagicTenant = "BHDT"
+	// MagicTenantJournal frames one append-journal patch entry
+	// (boosthd.SaveDeltaPatch): the changed-learner subset of a tenant
+	// delta, keyed to both the base fingerprint and the epoch of the full
+	// BHDT record it extends. The distinct magic keeps a patch from ever
+	// decoding as a full record (or vice versa) if files are misfiled.
+	MagicTenantJournal = "BHDJ"
 )
 
 // prefix is shared by every magic; a stream starting with it but not
@@ -170,6 +176,8 @@ func describe(magic string) string {
 		return "quantized binary snapshot"
 	case MagicTenant:
 		return "tenant delta record"
+	case MagicTenantJournal:
+		return "tenant delta journal patch"
 	default:
 		return fmt.Sprintf("unknown %q", magic)
 	}

@@ -130,8 +130,42 @@ assert pa2 != pb2, "tenant views collapsed across the base swap"
 ts2 = call("/tenants")
 assert ts2["base_hash"] != base_hash, ts2
 assert ts2["rebuilds"] >= 2, ts2
-print("tenant drill ok: residents=%d bytes=%d rebuilds=%d" %
-      (ts2["residents"], ts2["resident_bytes"], ts2["rebuilds"]))
+assert ts2["shards"] >= 1, ts2
+print("tenant drill ok: residents=%d bytes=%d rebuilds=%d shards=%d" %
+      (ts2["residents"], ts2["resident_bytes"], ts2["rebuilds"], ts2["shards"]))
+
+# Coalescing drill: base and two-tenant traffic interleaved from
+# concurrent threads rides one micro-batcher — tenant rows must share
+# engine batch calls with their same-view peers (coalesced counter
+# moves) while every row still lands on its own tenant's view
+# (per-tenant predictions identical to the direct batch path).
+import threading
+want = {
+    "/predict": call("/predict_batch", {"rows": probe})["labels"],
+    "/t/wearer-a/predict": call("/t/wearer-a/predict_batch", {"rows": probe})["labels"],
+    "/t/wearer-b/predict": call("/t/wearer-b/predict_batch", {"rows": probe})["labels"],
+}
+bt0 = call("/healthz")["batcher"]
+drill_errs = []
+def hammer(path, labels):
+    try:
+        for i, row in enumerate(probe):
+            got = call(path, {"features": row})["label"]
+            assert got == labels[i], (path, i, got, labels[i])
+    except Exception as e:  # surfaced on the main thread below
+        drill_errs.append(e)
+threads = [threading.Thread(target=hammer, args=(p, w)) for p, w in want.items() for _ in range(2)]
+for t in threads: t.start()
+for t in threads: t.join()
+assert not drill_errs, drill_errs
+assert want["/t/wearer-a/predict"] != want["/t/wearer-b/predict"], "tenant views converged"
+bt = call("/healthz")["batcher"]
+assert bt["tenant_rows"] > bt0["tenant_rows"], (bt0, bt)
+assert bt["coalesced_rows"] > bt0["coalesced_rows"], \
+    ("tenant traffic never shared an engine batch call", bt0, bt)
+print("coalescing drill ok: +%d tenant rows, +%d coalesced rows, %d flushes" %
+      (bt["tenant_rows"] - bt0["tenant_rows"],
+       bt["coalesced_rows"] - bt0["coalesced_rows"], bt["flushes"]))
 
 import time
 time.sleep(0.8)  # let the scrubber tick over the retrained model
